@@ -1,0 +1,39 @@
+# Standard development entry points. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test bench cover experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per experiment in DESIGN.md's index.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate the paper's evaluation at the default 1/16 scale
+# (see EXPERIMENTS.md; use SCALE=1.0 for the full-size sweep).
+SCALE ?= 0.0625
+experiments:
+	$(GO) run ./cmd/benchrunner -exp all -scale $(SCALE)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/census
+	$(GO) run ./examples/fraud
+	$(GO) run ./examples/scaling
+	$(GO) run ./examples/outofcore
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,290 @@
+// Package classify is the public API of the ScalParC reproduction: a
+// decision-tree classification library for large datasets, offering the
+// serial SPRINT-style classifier, the scalable parallel ScalParC algorithm
+// (the paper's contribution), and the parallel SPRINT baseline it is
+// evaluated against.
+//
+// Quick start:
+//
+//	table, _ := classify.GenerateQuest(classify.QuestConfig{Function: 2, Records: 100000, Seed: 1})
+//	model, _ := classify.Train(table, classify.Config{Processors: 8})
+//	eval, _ := classify.Evaluate(model.Tree, table)
+//	fmt.Println(eval.Accuracy)
+//
+// Parallel training runs on a simulated distributed-memory machine (one
+// goroutine per processor with hand-rolled MPI-style collectives) whose
+// cost model yields a deterministic modeled parallel runtime and byte-exact
+// per-processor memory figures — the quantities the paper's evaluation
+// plots. The induced tree is identical for every processor count and every
+// algorithm choice; only runtime and memory behaviour differ.
+package classify
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/comm"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/scalparc"
+	"repro/internal/serial"
+	"repro/internal/sliq"
+	"repro/internal/splitter"
+	"repro/internal/sprint"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// Re-exported data-model types: see package dataset for details.
+type (
+	// Schema describes a dataset's attributes and class labels.
+	Schema = dataset.Schema
+	// Attribute describes one record field.
+	Attribute = dataset.Attribute
+	// Table is a column-oriented set of labeled records.
+	Table = dataset.Table
+	// Tree is a trained decision tree.
+	Tree = tree.Tree
+	// Machine is the simulated machine's cost model.
+	Machine = timing.Model
+)
+
+// Attribute kinds.
+const (
+	Continuous  = dataset.Continuous
+	Categorical = dataset.Categorical
+)
+
+// Algorithm selects the training algorithm.
+type Algorithm int
+
+const (
+	// ScalParC is the paper's scalable parallel classifier (default).
+	ScalParC Algorithm = iota
+	// SPRINT is the parallel SPRINT baseline with the replicated hash
+	// table (unscalable in memory and communication; for comparison).
+	SPRINT
+	// Serial is the single-machine SPRINT-style classifier.
+	Serial
+	// SLIQ is the single-machine SLIQ classifier (Mehta et al., the
+	// paper's reference [7]): unsplit attribute lists plus a
+	// memory-resident class list. Induces the identical tree.
+	SLIQ
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case ScalParC:
+		return "scalparc"
+	case SPRINT:
+		return "sprint"
+	case Serial:
+		return "serial"
+	case SLIQ:
+		return "sliq"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config controls training.
+type Config struct {
+	// Algorithm selects the classifier; default ScalParC.
+	Algorithm Algorithm
+	// Processors is the simulated processor count for the parallel
+	// algorithms; default 1. Ignored by Serial.
+	Processors int
+	// Machine is the simulated machine's cost model; zero value selects
+	// the default T3D-like machine.
+	Machine Machine
+	// MaxDepth limits tree depth (0 = unlimited).
+	MaxDepth int
+	// MinSplit is the minimum node size eligible for splitting (min 2).
+	MinSplit int
+	// CategoricalBinary selects binary subset splits for categorical
+	// attributes instead of m-way splits (domains must have <= 64 values).
+	CategoricalBinary bool
+	// Prune applies pessimistic post-pruning to the induced tree.
+	Prune bool
+}
+
+func (c Config) splitterConfig() splitter.Config {
+	return splitter.Config{
+		MaxDepth:          c.MaxDepth,
+		MinSplit:          c.MinSplit,
+		CategoricalBinary: c.CategoricalBinary,
+	}
+}
+
+func (c Config) machine() timing.Model {
+	if c.Machine == (timing.Model{}) {
+		return timing.T3D()
+	}
+	return c.Machine
+}
+
+// Metrics reports how a training run behaved.
+type Metrics struct {
+	// Algorithm and Processors echo the configuration.
+	Algorithm  Algorithm
+	Processors int
+	// Levels is the number of tree levels induced.
+	Levels int
+	// ModeledSeconds is the deterministic modeled parallel runtime T_p
+	// (zero for Serial).
+	ModeledSeconds float64
+	// PresortModeledSeconds is the modeled presort time (zero for Serial).
+	PresortModeledSeconds float64
+	// WallSeconds is host wall-clock time.
+	WallSeconds float64
+	// PeakMemoryPerRank is each simulated processor's peak tracked bytes
+	// (nil for Serial).
+	PeakMemoryPerRank []int64
+	// BytesSent and BytesRecv total the simulated communication volume
+	// over all processors (zero for Serial).
+	BytesSent, BytesRecv int64
+	// PrunedNodes counts internal nodes collapsed by pruning.
+	PrunedNodes int
+}
+
+// Model is a trained classifier.
+type Model struct {
+	Tree    *Tree
+	Metrics Metrics
+}
+
+// Train builds a decision tree on the table under the configuration.
+func Train(tab *Table, cfg Config) (*Model, error) {
+	if tab == nil {
+		return nil, fmt.Errorf("classify: nil table")
+	}
+	if cfg.Processors < 0 {
+		return nil, fmt.Errorf("classify: negative processor count %d", cfg.Processors)
+	}
+	p := cfg.Processors
+	if p == 0 {
+		p = 1
+	}
+
+	m := &Model{Metrics: Metrics{Algorithm: cfg.Algorithm, Processors: p}}
+	switch cfg.Algorithm {
+	case Serial, SLIQ:
+		var t *tree.Tree
+		var err error
+		if cfg.Algorithm == Serial {
+			t, err = serial.Train(tab, cfg.splitterConfig())
+		} else {
+			t, err = sliq.Train(tab, cfg.splitterConfig())
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.Tree = t
+		m.Metrics.Processors = 1
+		m.Metrics.Levels = t.Depth() + 1
+	case ScalParC, SPRINT:
+		w := comm.NewWorld(p, cfg.machine())
+		var res *scalparc.Result
+		var err error
+		if cfg.Algorithm == ScalParC {
+			res, err = scalparc.Train(w, tab, cfg.splitterConfig())
+		} else {
+			res, err = sprint.Train(w, tab, cfg.splitterConfig())
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.Tree = res.Tree
+		m.Metrics.Levels = res.Levels
+		m.Metrics.ModeledSeconds = res.ModeledSeconds
+		m.Metrics.PresortModeledSeconds = res.PresortModeledSeconds
+		m.Metrics.WallSeconds = res.WallSeconds
+		m.Metrics.PeakMemoryPerRank = res.PeakMemoryPerRank
+		for _, s := range res.Stats {
+			m.Metrics.BytesSent += s.BytesSent
+			m.Metrics.BytesRecv += s.BytesRecv
+		}
+	default:
+		return nil, fmt.Errorf("classify: unknown algorithm %v", cfg.Algorithm)
+	}
+
+	if cfg.Prune {
+		m.Metrics.PrunedNodes = m.Tree.Prune()
+	}
+	return m, nil
+}
+
+// QuestConfig parameterises the synthetic Quest data generator the paper
+// evaluates on.
+type QuestConfig struct {
+	// Function selects the Quest classification function, 1..10.
+	Function int
+	// Records is the number of records to generate.
+	Records int
+	// Seed makes generation deterministic.
+	Seed int64
+	// NineAttributes selects the full nine-attribute Quest schema instead
+	// of the paper's seven-attribute projection.
+	NineAttributes bool
+	// LabelNoise flips each label with this probability.
+	LabelNoise float64
+	// Perturbation is the Quest generator's original noise mechanism:
+	// continuous attribute values are perturbed by this factor of their
+	// range after labeling (the Quest experiments use 0.05).
+	Perturbation float64
+}
+
+// GenerateQuest produces a synthetic training table.
+func GenerateQuest(cfg QuestConfig) (*Table, error) {
+	set := datagen.Seven
+	if cfg.NineAttributes {
+		set = datagen.Nine
+	}
+	return datagen.Generate(datagen.Config{
+		Function:     cfg.Function,
+		Attrs:        set,
+		Seed:         cfg.Seed,
+		LabelNoise:   cfg.LabelNoise,
+		Perturbation: cfg.Perturbation,
+	}, cfg.Records)
+}
+
+// GenerateQuestMultiClass is GenerateQuest's multi-class extension: labels
+// are income-score bands instead of the two-class Quest functions (the
+// classifiers are fully multi-class; the original generator is not).
+func GenerateQuestMultiClass(cfg QuestConfig, classes int) (*Table, error) {
+	set := datagen.Seven
+	if cfg.NineAttributes {
+		set = datagen.Nine
+	}
+	return datagen.GenerateMultiClass(datagen.Config{
+		Function:     cfg.Function,
+		Attrs:        set,
+		Seed:         cfg.Seed,
+		LabelNoise:   cfg.LabelNoise,
+		Perturbation: cfg.Perturbation,
+	}, cfg.Records, classes)
+}
+
+// QuestSchema returns the generator's schema without generating records.
+func QuestSchema(nineAttributes bool) *Schema {
+	if nineAttributes {
+		return datagen.Schema(datagen.Nine)
+	}
+	return datagen.Schema(datagen.Seven)
+}
+
+// NewTable creates an empty table for a schema with capacity for n rows.
+func NewTable(s *Schema, n int) *Table { return dataset.NewTable(s, n) }
+
+// ReadCSV parses a table (WriteCSV's format) against a schema.
+func ReadCSV(r io.Reader, s *Schema) (*Table, error) { return dataset.ReadCSV(r, s) }
+
+// WriteCSV writes a table with a header row.
+func WriteCSV(w io.Writer, t *Table) error { return dataset.WriteCSV(w, t) }
+
+// DecodeTree reads a JSON-encoded tree produced by Tree.Encode.
+func DecodeTree(r io.Reader) (*Tree, error) { return tree.Decode(r) }
+
+// DefaultMachine returns the default simulated machine model (T3D-like).
+func DefaultMachine() Machine { return timing.T3D() }

@@ -1,0 +1,232 @@
+package classify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func questTable(t *testing.T, n int) *Table {
+	t.Helper()
+	tab, err := GenerateQuest(QuestConfig{Function: 2, Records: n, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTrainDefaultIsScalParC(t *testing.T) {
+	tab := questTable(t, 300)
+	m, err := Train(tab, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics.Algorithm != ScalParC || m.Metrics.Processors != 4 {
+		t.Fatalf("metrics %+v", m.Metrics)
+	}
+	if m.Tree == nil || m.Metrics.ModeledSeconds <= 0 || m.Metrics.BytesSent <= 0 {
+		t.Fatalf("missing outputs: %+v", m.Metrics)
+	}
+	if len(m.Metrics.PeakMemoryPerRank) != 4 {
+		t.Fatal("per-rank memory missing")
+	}
+}
+
+func TestAllAlgorithmsAgreeOnTheTree(t *testing.T) {
+	tab := questTable(t, 300)
+	serialM, err := Train(tab, Config{Algorithm: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{ScalParC, SPRINT} {
+		for _, p := range []int{1, 3, 8} {
+			m, err := Train(tab, Config{Algorithm: alg, Processors: p})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", alg, p, err)
+			}
+			if !m.Tree.Equal(serialM.Tree) {
+				t.Fatalf("%v p=%d differs from serial tree", alg, p)
+			}
+		}
+	}
+	sliqM, err := Train(tab, Config{Algorithm: SLIQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sliqM.Tree.Equal(serialM.Tree) {
+		t.Fatal("SLIQ differs from serial tree")
+	}
+	if sliqM.Metrics.Algorithm != SLIQ || sliqM.Metrics.Processors != 1 {
+		t.Fatalf("SLIQ metrics: %+v", sliqM.Metrics)
+	}
+}
+
+func TestTrainSerialMetrics(t *testing.T) {
+	tab := questTable(t, 200)
+	m, err := Train(tab, Config{Algorithm: Serial, Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics.Processors != 1 {
+		t.Fatal("serial must report one processor")
+	}
+	if m.Metrics.ModeledSeconds != 0 || m.Metrics.BytesSent != 0 {
+		t.Fatal("serial must not report simulated metrics")
+	}
+	if m.Metrics.Levels < 1 {
+		t.Fatal("levels missing")
+	}
+}
+
+func TestTrainWithPruning(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 2, Records: 400, Seed: 9, LabelNoise: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Train(tab, Config{Algorithm: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Train(tab, Config{Algorithm: Serial, Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Metrics.PrunedNodes == 0 {
+		t.Fatal("noisy data should trigger pruning")
+	}
+	if pruned.Tree.NumNodes() >= full.Tree.NumNodes() {
+		t.Fatal("pruning did not shrink the tree")
+	}
+}
+
+func TestTrainConfigErrors(t *testing.T) {
+	tab := questTable(t, 50)
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if _, err := Train(tab, Config{Processors: -1}); err == nil {
+		t.Fatal("negative processors accepted")
+	}
+	if _, err := Train(tab, Config{Algorithm: Algorithm(9)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Train(tab, Config{MaxDepth: -1}); err == nil {
+		t.Fatal("invalid depth accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if ScalParC.String() != "scalparc" || SPRINT.String() != "sprint" ||
+		Serial.String() != "serial" || SLIQ.String() != "sliq" {
+		t.Fatal("algorithm names wrong")
+	}
+	if !strings.Contains(Algorithm(7).String(), "7") {
+		t.Fatal("unknown algorithm string")
+	}
+}
+
+func TestQuestHelpers(t *testing.T) {
+	s7 := QuestSchema(false)
+	s9 := QuestSchema(true)
+	if s7.NumAttrs() != 7 || s9.NumAttrs() != 9 {
+		t.Fatal("schema helpers wrong")
+	}
+	if _, err := GenerateQuest(QuestConfig{Function: 0, Records: 10}); err == nil {
+		t.Fatal("bad function accepted")
+	}
+	tab, err := GenerateQuest(QuestConfig{Function: 5, Records: 10, Seed: 2, NineAttributes: true})
+	if err != nil || tab.NumRows() != 10 || tab.Schema.NumAttrs() != 9 {
+		t.Fatalf("nine-attr generation: %v", err)
+	}
+}
+
+func TestMultiClassEndToEnd(t *testing.T) {
+	tab, err := GenerateQuestMultiClass(QuestConfig{Records: 2000, Seed: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema.NumClasses() != 4 {
+		t.Fatalf("classes=%d", tab.Schema.NumClasses())
+	}
+	serialM, err := Train(tab, Config{Algorithm: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Algorithm: SLIQ},
+		{Algorithm: ScalParC, Processors: 4},
+		{Algorithm: SPRINT, Processors: 4},
+	} {
+		m, err := Train(tab, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Algorithm, err)
+		}
+		if !m.Tree.Equal(serialM.Tree) {
+			t.Fatalf("%v differs from serial on multi-class data", cfg.Algorithm)
+		}
+	}
+	eval, err := Evaluate(serialM.Tree, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.Accuracy != 1.0 {
+		t.Fatalf("deterministic bands should be fully learnable, accuracy %.3f", eval.Accuracy)
+	}
+	if len(eval.PerClass) != 4 {
+		t.Fatal("per-class metrics missing")
+	}
+	if _, err := GenerateQuestMultiClass(QuestConfig{Records: 10}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestCSVAndTreeRoundTripThroughFacade(t *testing.T) {
+	tab := questTable(t, 30)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, tab.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 30 {
+		t.Fatal("csv round trip lost rows")
+	}
+	m, err := Train(tab, Config{Algorithm: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := m.Tree.Encode(&tb); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DecodeTree(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(m.Tree) {
+		t.Fatal("tree round trip changed the tree")
+	}
+}
+
+func TestCustomMachineModel(t *testing.T) {
+	tab := questTable(t, 200)
+	fast := DefaultMachine()
+	fast.ScanRate *= 100
+	fast.SplitRate *= 100
+	slow, err := Train(tab, Config{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := Train(tab, Config{Processors: 2, Machine: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.Metrics.ModeledSeconds >= slow.Metrics.ModeledSeconds {
+		t.Fatal("a faster machine model must yield a smaller modeled runtime")
+	}
+	if !quick.Tree.Equal(slow.Tree) {
+		t.Fatal("machine model must not affect the tree")
+	}
+}

@@ -1,0 +1,71 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// FoldResult is one fold's outcome in a cross-validation.
+type FoldResult struct {
+	Fold       int
+	Evaluation *Evaluation
+	TreeNodes  int
+}
+
+// CVResult summarises a k-fold cross-validation.
+type CVResult struct {
+	Folds        []FoldResult
+	MeanAccuracy float64
+	MinAccuracy  float64
+	MaxAccuracy  float64
+}
+
+// CrossValidate runs k-fold cross-validation: the table is divided into k
+// contiguous folds; each fold serves once as the held-out set while the
+// model trains on the remainder under cfg. (Shuffle the table beforehand
+// if its row order is not exchangeable.)
+func CrossValidate(tab *Table, cfg Config, k int) (*CVResult, error) {
+	if tab == nil {
+		return nil, fmt.Errorf("classify: nil table")
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("classify: cross-validation needs k >= 2, got %d", k)
+	}
+	if tab.NumRows() < k {
+		return nil, fmt.Errorf("classify: %d rows cannot form %d folds", tab.NumRows(), k)
+	}
+
+	res := &CVResult{MinAccuracy: 1}
+	for fold := 0; fold < k; fold++ {
+		lo, hi := dataset.BlockRange(tab.NumRows(), k, fold)
+		test := tab.Slice(lo, hi)
+		train := tab.Slice(0, lo)
+		if err := train.AppendTable(tab.Slice(hi, tab.NumRows())); err != nil {
+			return nil, err
+		}
+
+		model, err := Train(train, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("classify: fold %d: %w", fold, err)
+		}
+		eval, err := Evaluate(model.Tree, test)
+		if err != nil {
+			return nil, fmt.Errorf("classify: fold %d: %w", fold, err)
+		}
+		res.Folds = append(res.Folds, FoldResult{
+			Fold:       fold,
+			Evaluation: eval,
+			TreeNodes:  model.Tree.NumNodes(),
+		})
+		res.MeanAccuracy += eval.Accuracy
+		if eval.Accuracy < res.MinAccuracy {
+			res.MinAccuracy = eval.Accuracy
+		}
+		if eval.Accuracy > res.MaxAccuracy {
+			res.MaxAccuracy = eval.Accuracy
+		}
+	}
+	res.MeanAccuracy /= float64(k)
+	return res, nil
+}

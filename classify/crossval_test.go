@@ -1,0 +1,107 @@
+package classify
+
+import "testing"
+
+func TestCrossValidate(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 1, Records: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossValidate(tab, Config{Algorithm: Serial}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds=%d", len(res.Folds))
+	}
+	total := 0
+	for i, f := range res.Folds {
+		if f.Fold != i || f.Evaluation == nil || f.TreeNodes < 1 {
+			t.Fatalf("fold %d malformed: %+v", i, f)
+		}
+		total += f.Evaluation.N
+	}
+	if total != 1000 {
+		t.Fatalf("folds cover %d rows, want 1000", total)
+	}
+	if res.MeanAccuracy < 0.9 {
+		t.Fatalf("mean accuracy %.3f too low for F1", res.MeanAccuracy)
+	}
+	if res.MinAccuracy > res.MeanAccuracy || res.MaxAccuracy < res.MeanAccuracy {
+		t.Fatalf("accuracy bounds inconsistent: %+v", res)
+	}
+}
+
+func TestCrossValidateParallelMatchesSerial(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 2, Records: 400, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := CrossValidate(tab, Config{Algorithm: Serial}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(tab, Config{Algorithm: ScalParC, Processors: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Folds {
+		if a.Folds[i].Evaluation.Accuracy != b.Folds[i].Evaluation.Accuracy ||
+			a.Folds[i].TreeNodes != b.Folds[i].TreeNodes {
+			t.Fatalf("fold %d differs between serial and parallel CV", i)
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 1, Records: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CrossValidate(nil, Config{}, 3); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if _, err := CrossValidate(tab, Config{}, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := CrossValidate(tab, Config{}, 11); err == nil {
+		t.Fatal("more folds than rows accepted")
+	}
+}
+
+func TestCCPPruningThroughFacade(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 2, Records: 2000, Seed: 9, LabelNoise: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, rest := tab.Split(0.6)
+	val, test := rest.Split(0.5)
+
+	model, err := Train(train, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Evaluate(model.Tree, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesBefore := model.Tree.NumNodes()
+
+	removed, err := model.Tree.PruneCCP(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("noisy tree should have prunable structure")
+	}
+	if model.Tree.NumNodes() >= nodesBefore {
+		t.Fatal("CCP did not shrink the tree")
+	}
+	after, err := Evaluate(model.Tree, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Accuracy < before.Accuracy-0.02 {
+		t.Fatalf("CCP hurt held-out accuracy: %.3f -> %.3f", before.Accuracy, after.Accuracy)
+	}
+}

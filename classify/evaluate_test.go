@@ -1,0 +1,124 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluatePerfectTree(t *testing.T) {
+	tab := questTable(t, 400)
+	m, err := Train(tab, Config{Algorithm: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m.Tree, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy != 1.0 || ev.Correct != 400 || ev.N != 400 {
+		t.Fatalf("training-set evaluation: %+v", ev)
+	}
+	// Off-diagonal confusion must be empty.
+	for i := range ev.Confusion {
+		for j := range ev.Confusion[i] {
+			if i != j && ev.Confusion[i][j] != 0 {
+				t.Fatalf("confusion[%d][%d]=%d", i, j, ev.Confusion[i][j])
+			}
+		}
+	}
+	for _, c := range ev.PerClass {
+		if c.Support > 0 && (c.Precision != 1 || c.Recall != 1 || c.F1 != 1) {
+			t.Fatalf("per-class metrics: %+v", c)
+		}
+	}
+}
+
+func TestEvaluateHeldOut(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 1, Records: 3000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := tab.Split(0.7)
+	m, err := Train(train, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m.Tree, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy < 0.95 {
+		t.Fatalf("held-out accuracy %.3f too low for F1", ev.Accuracy)
+	}
+	if ev.N != test.NumRows() {
+		t.Fatal("evaluation record count wrong")
+	}
+}
+
+func TestEvaluateConfusionConsistency(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 2, Records: 500, Seed: 3, LabelNoise: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Algorithm: Serial, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m.Tree, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, diag := 0, 0
+	for i := range ev.Confusion {
+		for j := range ev.Confusion[i] {
+			total += ev.Confusion[i][j]
+			if i == j {
+				diag += ev.Confusion[i][j]
+			}
+		}
+	}
+	if total != ev.N || diag != ev.Correct {
+		t.Fatalf("confusion totals: total=%d diag=%d vs N=%d correct=%d", total, diag, ev.N, ev.Correct)
+	}
+	// Support must match class histogram.
+	hist := tab.ClassHistogram()
+	for j, c := range ev.PerClass {
+		if int64(c.Support) != hist[j] {
+			t.Fatalf("class %d support %d, histogram %d", j, c.Support, hist[j])
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	tab := questTable(t, 20)
+	m, err := Train(tab, Config{Algorithm: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(nil, tab); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := Evaluate(m.Tree, nil); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	other := QuestSchema(true) // 9 attrs vs the tree's 7
+	if _, err := Evaluate(m.Tree, NewTable(other, 0)); err == nil {
+		t.Fatal("incompatible schema accepted")
+	}
+}
+
+func TestEvaluationString(t *testing.T) {
+	tab := questTable(t, 100)
+	m, err := Train(tab, Config{Algorithm: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m.Tree, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ev.String()
+	if !strings.Contains(s, "accuracy") || !strings.Contains(s, "GroupA") {
+		t.Fatalf("report:\n%s", s)
+	}
+}

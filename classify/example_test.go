@@ -1,0 +1,124 @@
+package classify_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/classify"
+)
+
+// Example trains ScalParC on synthetic Quest data and reports accuracy.
+func Example() {
+	table, err := classify.GenerateQuest(classify.QuestConfig{
+		Function: 1, // GroupA iff age < 40 or age >= 60
+		Records:  5000,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := table.Split(0.8)
+
+	model, err := classify.Train(train, classify.Config{
+		Algorithm:  classify.ScalParC,
+		Processors: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := classify.Evaluate(model.Tree, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy %.2f\n", eval.Accuracy)
+	// Output: accuracy 1.00
+}
+
+// ExampleTrain_identicalTrees shows the library's determinism guarantee:
+// every algorithm, at every processor count, induces the same tree.
+func ExampleTrain_identicalTrees() {
+	table, err := classify.GenerateQuest(classify.QuestConfig{Function: 2, Records: 1000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reference, err := classify.Train(table, classify.Config{Algorithm: classify.Serial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cfg := range []classify.Config{
+		{Algorithm: classify.SLIQ},
+		{Algorithm: classify.ScalParC, Processors: 4},
+		{Algorithm: classify.SPRINT, Processors: 8},
+	} {
+		m, err := classify.Train(table, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: identical=%v\n", cfg.Algorithm, m.Tree.Equal(reference.Tree))
+	}
+	// Output:
+	// sliq: identical=true
+	// scalparc: identical=true
+	// sprint: identical=true
+}
+
+// ExampleTrain_scalability reads the simulated machine's metrics: modeled
+// runtime shrinks and per-processor memory halves as processors double.
+func ExampleTrain_scalability() {
+	table, err := classify.GenerateQuest(classify.QuestConfig{Function: 2, Records: 20000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var prevTime float64
+	var prevMem int64
+	for _, p := range []int{4, 8} {
+		m, err := classify.Train(table, classify.Config{Processors: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var peak int64
+		for _, b := range m.Metrics.PeakMemoryPerRank {
+			if b > peak {
+				peak = b
+			}
+		}
+		if prevTime > 0 {
+			fmt.Printf("doubling 4->8: runtime x%.2f, memory x%.2f\n",
+				m.Metrics.ModeledSeconds/prevTime, float64(peak)/float64(prevMem))
+		}
+		prevTime, prevMem = m.Metrics.ModeledSeconds, peak
+	}
+	// Output: doubling 4->8: runtime x0.57, memory x0.50
+}
+
+// ExampleCrossValidate estimates generalisation with k folds.
+func ExampleCrossValidate() {
+	table, err := classify.GenerateQuest(classify.QuestConfig{Function: 1, Records: 2000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cv, err := classify.CrossValidate(table, classify.Config{Algorithm: classify.Serial}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("folds=%d mean accuracy %.2f\n", len(cv.Folds), cv.MeanAccuracy)
+	// Output: folds=4 mean accuracy 1.00
+}
+
+// ExampleEvaluate prints a per-class report.
+func ExampleEvaluate() {
+	table, err := classify.GenerateQuest(classify.QuestConfig{Function: 1, Records: 1000, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := classify.Train(table, classify.Config{Algorithm: classify.Serial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := classify.Evaluate(m.Tree, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correct %d of %d\n", eval.Correct, eval.N)
+	// Output: correct 1000 of 1000
+}

@@ -1,0 +1,172 @@
+// Command benchrunner regenerates the paper's evaluation: every figure,
+// the prose's quantitative claims, and the design ablations listed in
+// DESIGN.md's per-experiment index.
+//
+//	benchrunner -exp all                 # everything at the default scale
+//	benchrunner -exp fig3a -scale 1.0    # Figure 3(a) at the paper's full sizes
+//	benchrunner -exp sprintcmp           # ScalParC vs parallel SPRINT
+//
+// Record counts are the paper's {0.2 .. 6.4} million multiplied by -scale
+// (default 1/16; the curve shapes depend on N/p and survive scaling —
+// see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, blocks, micro, or all")
+	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
+	function := fs.Int("function", 2, "Quest classification function")
+	seed := fs.Int64("seed", 1, "generator seed")
+	maxDepth := fs.Int("depth", 0, "maximum tree depth (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale %v out of (0, 1]", *scale)
+	}
+
+	// Latencies scale with the data so reduced sweeps keep the full-size
+	// comp/comm balance (see bench.ScaledMachine).
+	machine := bench.ScaledMachine(*scale)
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	// The Figure 3 sweep feeds four experiments; run it once.
+	if all || want["fig3a"] || want["fig3b"] || want["speedups"] || want["memfactors"] {
+		cfg := bench.DefaultSweep(*scale)
+		cfg.Function = *function
+		cfg.Seed = *seed
+		cfg.MaxDepth = *maxDepth
+		fmt.Fprintf(out, "sweep: sizes %v, procs %v (scale %.4g of the paper's sizes)\n\n",
+			cfg.Sizes, cfg.Procs, *scale)
+		points, err := cfg.Run()
+		if err != nil {
+			return err
+		}
+		g := bench.NewGrid(points)
+		if all || want["fig3a"] {
+			bench.Fig3a(out, g)
+			fmt.Fprintln(out)
+			ran++
+		}
+		if all || want["fig3b"] {
+			bench.Fig3b(out, g)
+			fmt.Fprintln(out)
+			ran++
+		}
+		if all || want["speedups"] {
+			bench.Speedups(out, g)
+			fmt.Fprintln(out)
+			ran++
+		}
+		if all || want["memfactors"] {
+			bench.MemFactors(out, g)
+			fmt.Fprintln(out)
+			ran++
+		}
+	}
+
+	if all || want["sprintcmp"] {
+		n := int(float64(bench.PaperSizes[2]) * *scale) // the 0.8m series
+		if err := bench.SprintCmp(out, n, []int{2, 4, 8, 16, 32}, *function, *seed, *maxDepth, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["serialwall"] {
+		n := int(float64(bench.PaperSizes[2]) * *scale)
+		budget := int64(n) // records * 1 byte: forces ~5 stages at the root
+		budgets := []int64{1 << 30, int64(n) * 5, budget * 2, budget}
+		if err := bench.SerialMemoryWall(out, n, budgets, *function, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["pernode"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		if err := bench.PerNode(out, n, []int{4, 16, 64}, *function, *seed, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["batched"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		if err := bench.Batched(out, n, []int{4, 16, 64}, *function, *seed, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["rebalance"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		if err := bench.Rebalance(out, n, []int{4, 16, 64}, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["blocks"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		bench.Blocks(out, n, []int{2, 4, 8, 16}, machine)
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["weak"] {
+		base := int(float64(bench.PaperSizes[0]) * *scale / 4)
+		if err := bench.WeakScaling(out, base, []int{2, 4, 8, 16, 32, 64}, *function, *seed, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["levels"] {
+		n := int(float64(bench.PaperSizes[2]) * *scale)
+		if err := bench.Levels(out, n, 16, *function, *seed, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["micro"] {
+		bench.Micro(out, machine)
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

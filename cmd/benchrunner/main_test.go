@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMicroAndBlocks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "micro,blocks", "-scale", "0.002"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"MICRO", "ABL-BLOCK", "rounds"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "FIG3a") {
+		t.Fatal("unrequested experiment ran")
+	}
+}
+
+func TestRunSerialWall(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "serialwall", "-scale", "0.002"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MOT-SERIAL") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunSweepTiny(t *testing.T) {
+	var out bytes.Buffer
+	// A very small scale keeps the sweep fast while exercising the whole
+	// fig3a/fig3b/speedups/memfactors path.
+	if err := run([]string{"-exp", "fig3a,memfactors", "-scale", "0.001", "-depth", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"sweep:", "FIG3a", "TXT-MEM"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "TXT-SPD") {
+		t.Fatal("unrequested experiment ran")
+	}
+}
+
+func TestRunAblationsAndDiagnostics(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "pernode,batched,rebalance,weak,levels", "-scale", "0.002"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"ABL-NODE", "ABL-BATCH", "ABL-REBAL", "EXP-WEAK", "EXP-LEVELS"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nonsense"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "0"}, &out); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := run([]string{"-scale", "2"}, &out); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Command scalparc trains a decision tree with the ScalParC parallel
+// classifier (or the serial / parallel-SPRINT baselines) and reports the
+// run's modeled runtime, per-processor memory, and accuracy.
+//
+// Data can come from a CSV file with a JSON schema, or be generated with
+// the built-in Quest generator:
+//
+//	scalparc -quest-function 2 -records 200000 -procs 16
+//	scalparc -schema schema.json -train train.csv -test test.csv -procs 8
+//	scalparc -quest-function 7 -records 50000 -algo sprint -procs 8 -dump
+//
+// The JSON schema format:
+//
+//	{"attrs": [{"name": "salary", "kind": "continuous"},
+//	           {"name": "elevel", "kind": "categorical", "values": ["a","b"]}],
+//	 "classes": ["GroupA", "GroupB"]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/classify"
+)
+
+type jsonAttr struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Values []string `json:"values,omitempty"`
+}
+
+type jsonSchema struct {
+	Attrs   []jsonAttr `json:"attrs"`
+	Classes []string   `json:"classes"`
+}
+
+func loadSchema(path string) (*classify.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var js jsonSchema
+	if err := json.NewDecoder(f).Decode(&js); err != nil {
+		return nil, fmt.Errorf("parsing schema %s: %w", path, err)
+	}
+	s := &classify.Schema{Classes: js.Classes}
+	for _, a := range js.Attrs {
+		attr := classify.Attribute{Name: a.Name, Values: a.Values}
+		switch a.Kind {
+		case "continuous":
+			attr.Kind = classify.Continuous
+		case "categorical":
+			attr.Kind = classify.Categorical
+		default:
+			return nil, fmt.Errorf("attribute %q: unknown kind %q (want continuous or categorical)", a.Name, a.Kind)
+		}
+		s.Attrs = append(s.Attrs, attr)
+	}
+	return s, s.Validate()
+}
+
+func loadCSV(path string, s *classify.Schema) (*classify.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return classify.ReadCSV(f, s)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scalparc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scalparc", flag.ContinueOnError)
+	algo := fs.String("algo", "scalparc", "algorithm: scalparc, sprint, serial, or sliq")
+	procs := fs.Int("procs", 4, "simulated processor count")
+	depth := fs.Int("depth", 0, "maximum tree depth (0 = unlimited)")
+	minSplit := fs.Int("minsplit", 2, "minimum node size to split")
+	prune := fs.Bool("prune", false, "apply pessimistic post-pruning")
+	binaryCats := fs.Bool("binary-cats", false, "binary subset splits for categorical attributes")
+	dump := fs.Bool("dump", false, "print the induced tree")
+	importance := fs.Bool("importance", false, "print gini attribute importance")
+	jsonOut := fs.String("json-out", "", "write the tree as JSON to this file")
+	dotOut := fs.String("dot-out", "", "write the tree as Graphviz dot to this file")
+
+	schemaPath := fs.String("schema", "", "JSON schema file (with -train)")
+	trainPath := fs.String("train", "", "training CSV file")
+	testPath := fs.String("test", "", "held-out test CSV file")
+
+	questFn := fs.Int("quest-function", 0, "generate Quest data with this function (1..10) instead of reading CSV")
+	records := fs.Int("records", 100000, "records to generate with -quest-function")
+	seed := fs.Int64("seed", 1, "generator seed")
+	noise := fs.Float64("noise", 0, "generator label noise")
+	testFrac := fs.Float64("test-frac", 0.25, "held-out fraction for generated data")
+	cvFolds := fs.Int("cv", 0, "run k-fold cross-validation instead of a single train/test split")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var algorithm classify.Algorithm
+	switch *algo {
+	case "scalparc":
+		algorithm = classify.ScalParC
+	case "sprint":
+		algorithm = classify.SPRINT
+	case "serial":
+		algorithm = classify.Serial
+	case "sliq":
+		algorithm = classify.SLIQ
+	default:
+		return fmt.Errorf("unknown -algo %q", *algo)
+	}
+
+	var train, test *classify.Table
+	switch {
+	case *questFn > 0:
+		tab, err := classify.GenerateQuest(classify.QuestConfig{
+			Function: *questFn, Records: *records, Seed: *seed, LabelNoise: *noise,
+		})
+		if err != nil {
+			return err
+		}
+		train, test = tab.Split(1 - *testFrac)
+		fmt.Fprintf(stdout, "generated quest F%d: %d train / %d test records\n",
+			*questFn, train.NumRows(), test.NumRows())
+	case *trainPath != "":
+		if *schemaPath == "" {
+			return fmt.Errorf("-train requires -schema")
+		}
+		schema, err := loadSchema(*schemaPath)
+		if err != nil {
+			return err
+		}
+		train, err = loadCSV(*trainPath, schema)
+		if err != nil {
+			return err
+		}
+		if *testPath != "" {
+			test, err = loadCSV(*testPath, schema)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stdout, "loaded %d training records from %s\n", train.NumRows(), *trainPath)
+	default:
+		return fmt.Errorf("provide either -quest-function or -schema/-train (see -h)")
+	}
+
+	trainCfg := classify.Config{
+		Algorithm:         algorithm,
+		Processors:        *procs,
+		MaxDepth:          *depth,
+		MinSplit:          *minSplit,
+		CategoricalBinary: *binaryCats,
+		Prune:             *prune,
+	}
+
+	if *cvFolds > 0 {
+		// Cross-validate over the full available data (train + test).
+		full := train
+		if test != nil && test.NumRows() > 0 {
+			if err := full.AppendTable(test); err != nil {
+				return err
+			}
+		}
+		cv, err := classify.CrossValidate(full, trainCfg, *cvFolds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%d-fold cross-validation over %d records (%s):\n", *cvFolds, full.NumRows(), algorithm)
+		for _, f := range cv.Folds {
+			fmt.Fprintf(stdout, "  fold %d: accuracy %.4f (%d nodes)\n", f.Fold, f.Evaluation.Accuracy, f.TreeNodes)
+		}
+		fmt.Fprintf(stdout, "mean accuracy %.4f (min %.4f, max %.4f)\n", cv.MeanAccuracy, cv.MinAccuracy, cv.MaxAccuracy)
+		return nil
+	}
+
+	model, err := classify.Train(train, trainCfg)
+	if err != nil {
+		return err
+	}
+
+	mm := model.Metrics
+	fmt.Fprintf(stdout, "algorithm %s on %d processors: %d levels, %d nodes (%d leaves), depth %d\n",
+		mm.Algorithm, mm.Processors, mm.Levels, model.Tree.NumNodes(), model.Tree.NumLeaves(), model.Tree.Depth())
+	if mm.Algorithm == classify.ScalParC || mm.Algorithm == classify.SPRINT {
+		var peak int64
+		for _, m := range mm.PeakMemoryPerRank {
+			if m > peak {
+				peak = m
+			}
+		}
+		fmt.Fprintf(stdout, "modeled runtime %.3fs (presort %.3fs), wall %.3fs\n",
+			mm.ModeledSeconds, mm.PresortModeledSeconds, mm.WallSeconds)
+		fmt.Fprintf(stdout, "peak memory per processor %.2f MB; total traffic %.2f MB sent\n",
+			float64(peak)/1e6, float64(mm.BytesSent)/1e6)
+	}
+	if *prune {
+		fmt.Fprintf(stdout, "pruned %d internal nodes\n", mm.PrunedNodes)
+	}
+
+	trainEval, err := classify.Evaluate(model.Tree, train)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "training   %s", trainEval)
+	if test != nil && test.NumRows() > 0 {
+		testEval, err := classify.Evaluate(model.Tree, test)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "held-out   %s", testEval)
+	}
+
+	if *importance {
+		imp := model.Tree.Importance()
+		fmt.Fprintln(stdout, "attribute importance (gini):")
+		for _, a := range model.Tree.TopAttributes(0) {
+			if imp[a] == 0 {
+				continue
+			}
+			fmt.Fprintf(stdout, "  %-12s %.4f\n", model.Tree.Schema.Attrs[a].Name, imp[a])
+		}
+	}
+
+	if *dump {
+		if err := model.Tree.Dump(stdout); err != nil {
+			return err
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.Tree.Encode(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote tree JSON to %s\n", *jsonOut)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.Tree.DOT(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote Graphviz dot to %s\n", *dotOut)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/classify"
+)
+
+func TestRunQuestMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "2", "-records", "2000", "-procs", "4", "-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"generated quest F2", "algorithm scalparc on 4 processors",
+		"modeled runtime", "training", "held-out", "accuracy"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSerialAndSprintModes(t *testing.T) {
+	for _, algo := range []string{"serial", "sprint"} {
+		var out bytes.Buffer
+		err := run([]string{"-quest-function", "1", "-records", "500", "-algo", algo, "-procs", "2"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "algorithm "+algo) {
+			t.Fatalf("%s output:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestRunCSVModeWithSchema(t *testing.T) {
+	dir := t.TempDir()
+
+	schemaPath := filepath.Join(dir, "schema.json")
+	schemaJSON := `{
+	  "attrs": [
+	    {"name": "x", "kind": "continuous"},
+	    {"name": "color", "kind": "categorical", "values": ["red", "blue"]}
+	  ],
+	  "classes": ["no", "yes"]
+	}`
+	if err := os.WriteFile(schemaPath, []byte(schemaJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	schema := &classify.Schema{
+		Attrs: []classify.Attribute{
+			{Name: "x", Kind: classify.Continuous},
+			{Name: "color", Kind: classify.Categorical, Values: []string{"red", "blue"}},
+		},
+		Classes: []string{"no", "yes"},
+	}
+	tab := classify.NewTable(schema, 20)
+	for i := 0; i < 20; i++ {
+		cls := 0
+		if i >= 10 {
+			cls = 1
+		}
+		if err := tab.AppendRow([]float64{float64(i), float64(i % 2)}, cls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trainPath := filepath.Join(dir, "train.csv")
+	f, err := os.Create(trainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := classify.WriteCSV(f, tab); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	treePath := filepath.Join(dir, "tree.json")
+	var out bytes.Buffer
+	err = run([]string{
+		"-schema", schemaPath, "-train", trainPath,
+		"-procs", "2", "-dump", "-json-out", treePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loaded 20 training records") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "x <= 9") {
+		t.Fatalf("dump should show the obvious split:\n%s", out.String())
+	}
+
+	tf, err := os.Open(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	tr, err := classify.DecodeTree(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Predict([]float64{3, 0}) != 0 || tr.Predict([]float64{15, 1}) != 1 {
+		t.Fatal("persisted tree mispredicts")
+	}
+}
+
+func TestRunImportance(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "1", "-records", "800", "-algo", "serial", "-importance",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "attribute importance") {
+		t.Fatalf("output missing importance report:\n%s", s)
+	}
+	// F1 depends on age alone: age must lead the report.
+	idx := strings.Index(s, "attribute importance")
+	if !strings.Contains(s[idx:], "age") {
+		t.Fatalf("age missing from importance:\n%s", s[idx:])
+	}
+}
+
+func TestRunCrossValidation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "1", "-records", "600", "-procs", "2", "-cv", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"3-fold cross-validation over 600 records", "fold 0", "fold 2", "mean accuracy"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "held-out") {
+		t.Fatal("cross-validation mode should replace the single split report")
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	dotPath := filepath.Join(t.TempDir(), "tree.dot")
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "1", "-records", "300", "-algo", "sliq", "-dot-out", dotPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "digraph tree {") || !strings.Contains(string(data), "age") {
+		t.Fatalf("dot file:\n%s", data)
+	}
+	if !strings.Contains(out.String(), "algorithm sliq") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := loadSchema(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadSchema(write("bad.json", "{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	badKind := `{"attrs":[{"name":"x","kind":"numeric"}],"classes":["a","b"]}`
+	if _, err := loadSchema(write("kind.json", badKind)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	invalid := `{"attrs":[{"name":"x","kind":"continuous"}],"classes":["a"]}`
+	if _, err := loadSchema(write("invalid.json", invalid)); err == nil {
+		t.Fatal("single-class schema accepted")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("no data source accepted")
+	}
+	if err := run([]string{"-quest-function", "1", "-records", "100", "-algo", "magic"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-train", "x.csv"}, &out); err == nil {
+		t.Fatal("-train without -schema accepted")
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: generate a synthetic training set, train a decision tree
+// with ScalParC on a simulated 8-processor machine, and evaluate it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/classify"
+)
+
+func main() {
+	// The paper's workload: the Quest generator, function 2 (age/salary
+	// bands), seven attributes, two classes.
+	table, err := classify.GenerateQuest(classify.QuestConfig{
+		Function: 2,
+		Records:  50_000,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := table.Split(0.75)
+
+	model, err := classify.Train(train, classify.Config{
+		Algorithm:  classify.ScalParC,
+		Processors: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trained on %d records with %s on %d simulated processors\n",
+		train.NumRows(), model.Metrics.Algorithm, model.Metrics.Processors)
+	fmt.Printf("tree: %d nodes, %d leaves, depth %d, induced in %d levels\n",
+		model.Tree.NumNodes(), model.Tree.NumLeaves(), model.Tree.Depth(), model.Metrics.Levels)
+	fmt.Printf("modeled parallel runtime %.3fs (presort %.3fs)\n",
+		model.Metrics.ModeledSeconds, model.Metrics.PresortModeledSeconds)
+
+	var peak int64
+	for _, m := range model.Metrics.PeakMemoryPerRank {
+		if m > peak {
+			peak = m
+		}
+	}
+	fmt.Printf("peak memory per processor %.2f MB, total traffic %.2f MB\n\n",
+		float64(peak)/1e6, float64(model.Metrics.BytesSent)/1e6)
+
+	eval, err := classify.Evaluate(model.Tree, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out %s", eval)
+}

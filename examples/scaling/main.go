@@ -1,0 +1,53 @@
+// Scaling: a miniature of the paper's Figure 3 — train the same dataset on
+// 2..64 simulated processors and watch the modeled runtime, speedup, and
+// per-processor memory, for two dataset sizes (relative speedups improve
+// with problem size, the paper's central scalability observation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/classify"
+)
+
+func main() {
+	procs := []int{2, 4, 8, 16, 32, 64}
+
+	for _, records := range []int{25_000, 100_000} {
+		table, err := classify.GenerateQuest(classify.QuestConfig{
+			Function: 2,
+			Records:  records,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %d records ===\n", records)
+		fmt.Printf("%5s %12s %10s %12s %14s\n", "procs", "runtime", "speedup", "efficiency", "peak mem/proc")
+		var base float64
+		for _, p := range procs {
+			model, err := classify.Train(table, classify.Config{Processors: p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := model.Metrics.ModeledSeconds
+			if p == procs[0] {
+				base = t * float64(p) // approximate serial time
+			}
+			var peak int64
+			for _, m := range model.Metrics.PeakMemoryPerRank {
+				if m > peak {
+					peak = m
+				}
+			}
+			speedup := base / t
+			fmt.Printf("%5d %10.3fs %9.2fx %11.1f%% %12.2fMB\n",
+				p, t, speedup, 100*speedup/float64(p), float64(peak)/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("larger problems keep the processors busy longer between")
+	fmt.Println("synchronizations, so their speedup curves bend later — Figure 3(a).")
+}

@@ -1,0 +1,430 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"repro/classify"
+	"repro/internal/comm"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/nodetable"
+	"repro/internal/scalparc"
+	"repro/internal/serial"
+	"repro/internal/splitter"
+	"repro/internal/timing"
+)
+
+// human formats a record count the way the paper's figure legend does.
+func human(n int) string {
+	if n >= 1_000_000 && n%100_000 == 0 {
+		return fmt.Sprintf("%.1fm", float64(n)/1e6)
+	}
+	if n >= 1000 {
+		return fmt.Sprintf("%.3gk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Fig3a prints Figure 3(a): parallel runtime (modeled seconds) against the
+// number of processors, one row per training-set size.
+func Fig3a(w io.Writer, g *Grid) {
+	fmt.Fprintln(w, "FIG3a — ScalParC parallel runtime (modeled seconds) vs processors")
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "records\\procs")
+	for _, p := range g.Procs {
+		fmt.Fprintf(tw, "\t%d", p)
+	}
+	fmt.Fprintln(tw)
+	for _, n := range g.Sizes {
+		fmt.Fprintf(tw, "%s", human(n))
+		for _, p := range g.Procs {
+			fmt.Fprintf(tw, "\t%.2f", g.MustAt(n, p).ModeledSeconds)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig3b prints Figure 3(b): memory required per processor (MB) against the
+// number of processors, one row per training-set size.
+func Fig3b(w io.Writer, g *Grid) {
+	fmt.Fprintln(w, "FIG3b — ScalParC memory per processor (MB) vs processors")
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "records\\procs")
+	for _, p := range g.Procs {
+		fmt.Fprintf(tw, "\t%d", p)
+	}
+	fmt.Fprintln(tw)
+	for _, n := range g.Sizes {
+		fmt.Fprintf(tw, "%s", human(n))
+		for _, p := range g.Procs {
+			fmt.Fprintf(tw, "\t%.3f", float64(g.MustAt(n, p).PeakMemBytes)/1e6)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Speedups prints the section 5 prose claims: relative speedups across
+// processor ranges, improving with training-set size, plus the headline
+// largest-run time.
+func Speedups(w io.Writer, g *Grid) {
+	fmt.Fprintln(w, "TXT-SPD — relative speedups (paper: improve with problem size)")
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	lowFrom, lowTo, highFrom, highTo := speedupRanges(g.Procs)
+	fmt.Fprintf(tw, "records\trel. speedup %d->%d (ideal %.0fx)\trel. speedup %d->%d (ideal %.0fx)\truntime @ p=%d\n",
+		lowFrom, lowTo, float64(lowTo)/float64(lowFrom),
+		highFrom, highTo, float64(highTo)/float64(highFrom), highTo)
+	for _, n := range g.Sizes {
+		fmt.Fprintf(tw, "%s\t%.2fx\t%.2fx\t%.2fs\n",
+			human(n),
+			g.RelativeSpeedup(n, lowFrom, lowTo),
+			g.RelativeSpeedup(n, highFrom, highTo),
+			g.MustAt(n, highTo).ModeledSeconds)
+	}
+	tw.Flush()
+	biggest := g.Sizes[len(g.Sizes)-1]
+	fmt.Fprintf(w, "headline: %s records classified in %.1f seconds on %d processors\n",
+		human(biggest), g.MustAt(biggest, highTo).ModeledSeconds, highTo)
+}
+
+// speedupRanges picks the paper's 8->32 and 32->128 processor ranges when
+// available, falling back to first->middle and middle->last.
+func speedupRanges(procs []int) (lowFrom, lowTo, highFrom, highTo int) {
+	has := map[int]bool{}
+	for _, p := range procs {
+		has[p] = true
+	}
+	if has[8] && has[32] && has[128] {
+		return 8, 32, 32, 128
+	}
+	mid := procs[len(procs)/2]
+	return procs[0], mid, mid, procs[len(procs)-1]
+}
+
+// MemFactors prints the section 5 prose claims on memory: per-doubling
+// drop factors near 2 for small p, deviating for large p as collective
+// buffers grow.
+func MemFactors(w io.Writer, g *Grid) {
+	fmt.Fprintln(w, "TXT-MEM — memory drop factor per processor doubling (ideal 2.0)")
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "records")
+	for i := 0; i+1 < len(g.Procs); i++ {
+		if g.Procs[i+1] == 2*g.Procs[i] {
+			fmt.Fprintf(tw, "\t%d->%d", g.Procs[i], g.Procs[i+1])
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, n := range g.Sizes {
+		fmt.Fprintf(tw, "%s", human(n))
+		for i := 0; i+1 < len(g.Procs); i++ {
+			if g.Procs[i+1] == 2*g.Procs[i] {
+				fmt.Fprintf(tw, "\t%.2f", g.MemFactor(n, g.Procs[i]))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// SprintCmp runs and prints the section 3.2 comparison: ScalParC vs the
+// parallel SPRINT formulation at a fixed training-set size across
+// processor counts — modeled runtime, busiest-rank traffic, and peak
+// memory per processor.
+func SprintCmp(w io.Writer, n int, procs []int, function int, seed int64, maxDepth int, machine timing.Model) error {
+	fmt.Fprintf(w, "CMP-SPRINT — ScalParC vs parallel SPRINT at %s records\n", human(n))
+	run := func(algo classify.Algorithm) (*Grid, error) {
+		cfg := SweepConfig{
+			Function: function, Seed: seed, MaxDepth: maxDepth,
+			Sizes: []int{n}, Procs: procs, Algo: algo, Machine: machine,
+		}
+		pts, err := cfg.Run()
+		if err != nil {
+			return nil, err
+		}
+		return NewGrid(pts), nil
+	}
+	sc, err := run(classify.ScalParC)
+	if err != nil {
+		return err
+	}
+	sp, err := run(classify.SPRINT)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procs\truntime scalparc\truntime sprint\trecv/rank scalparc\trecv/rank sprint\tmem/rank scalparc\tmem/rank sprint")
+	for _, p := range procs {
+		a, b := sc.MustAt(n, p), sp.MustAt(n, p)
+		fmt.Fprintf(tw, "%d\t%.2fs\t%.2fs\t%.2fMB\t%.2fMB\t%.2fMB\t%.2fMB\n",
+			p, a.ModeledSeconds, b.ModeledSeconds,
+			float64(a.MaxBytesRecv)/1e6, float64(b.MaxBytesRecv)/1e6,
+			float64(a.PeakMemBytes)/1e6, float64(b.PeakMemBytes)/1e6)
+	}
+	tw.Flush()
+	return nil
+}
+
+// Blocks runs and prints the ABL-BLOCK ablation: the blocked node-table
+// update protocol against an unblocked variant under the pathological skew
+// of section 3.3.2 (one processor sources every update).
+func Blocks(w io.Writer, n int, procs []int, machine timing.Model) {
+	fmt.Fprintf(w, "ABL-BLOCK — node-table updates under total skew (%s updates, all from rank 0)\n", human(n))
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procs\tpeak sender mem (blocked)\tpeak sender mem (unblocked)\trounds (blocked)")
+	for _, p := range procs {
+		peak := func(block int) (int64, int64) {
+			world := comm.NewWorld(p, machine)
+			world.Run(func(c *comm.Comm) {
+				nt := nodetable.NewWithBlock(c, n, block)
+				defer nt.Free()
+				var as []nodetable.Assignment
+				if c.Rank() == 0 {
+					as = make([]nodetable.Assignment, n)
+					for rid := range as {
+						as[rid] = nodetable.Assignment{Rid: int32(rid), Child: 1}
+					}
+				}
+				nt.Update(as)
+			})
+			return world.PeakMemory()[0], world.Stats()[0].AllToAlls
+		}
+		blocked, rounds := peak((n + p - 1) / p)
+		unblocked, _ := peak(0)
+		fmt.Fprintf(tw, "%d\t%.3fMB\t%.3fMB\t%d\n", p,
+			float64(blocked)/1e6, float64(unblocked)/1e6, rounds)
+	}
+	tw.Flush()
+}
+
+// SerialMemoryWall runs and prints MOT-SERIAL: the section 2 motivation —
+// under a main-memory budget, the serial classifier's splitting phase must
+// stage its hash table and re-read the attribute lists, multiplying disk
+// I/O; ScalParC's aggregate memory grows with p and never stages.
+func SerialMemoryWall(w io.Writer, n int, budgets []int64, function int, seed int64) error {
+	fmt.Fprintf(w, "MOT-SERIAL — staged serial splitting under a memory budget (%s records)\n", human(n))
+	tab, err := datagen.Generate(datagen.Config{
+		Function: function, Attrs: datagen.Seven, Seed: seed,
+	}, n)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "hash-table budget\tstages\tlist entries read\textra reads vs unconstrained")
+	for _, b := range budgets {
+		_, st, err := serial.TrainConstrained(tab, splitter.Config{}, b)
+		if err != nil {
+			return err
+		}
+		overhead := float64(st.ExtraEntriesRead) / float64(st.EntriesRead-st.ExtraEntriesRead)
+		fmt.Fprintf(tw, "%.3gMB\t%d\t%.1fM\t+%.0f%%\n",
+			float64(b)/1e6, st.Stages, float64(st.EntriesRead)/1e6, 100*overhead)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "(the root alone needs a %.3gMB table; ScalParC spreads it O(N/p) per processor)\n",
+		float64(n*5)/1e6)
+	return nil
+}
+
+// PerNode runs and prints the ABL-NODE ablation: ScalParC's per-level
+// communication batching against the per-node structure section 3.1
+// argues against. Label noise keeps the tree wide so the difference in
+// communication steps is visible.
+func PerNode(w io.Writer, n int, procs []int, function int, seed int64, machine timing.Model) error {
+	fmt.Fprintf(w, "ABL-NODE — per-level vs per-node communication at %s records (20%% label noise)\n", human(n))
+	tab, err := datagen.Generate(datagen.Config{
+		Function: function, Attrs: datagen.Seven, Seed: seed, LabelNoise: 0.2,
+	}, n)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procs\truntime per-level\truntime per-node\tall-to-alls per-level\tall-to-alls per-node")
+	for _, p := range procs {
+		world := comm.NewWorld(p, machine)
+		run := func(perNode bool) (float64, int64) {
+			res, err := scalparc.TrainOpts(world, tab, splitter.Config{}, scalparc.Options{PerNodeComms: perNode})
+			if err != nil {
+				panic(err)
+			}
+			return res.ModeledSeconds, res.Stats[0].AllToAlls
+		}
+		lt, la := run(false)
+		nt, na := run(true)
+		fmt.Fprintf(tw, "%d\t%.2fs\t%.2fs\t%d\t%d\n", p, lt, nt, la, na)
+	}
+	tw.Flush()
+	return nil
+}
+
+// Batched runs and prints the ABL-BATCH ablation: PerformSplitII's
+// one-attribute-at-a-time enquiries (the paper's memory-bounding choice)
+// against the technical report's batched single enquiry per level.
+func Batched(w io.Writer, n int, procs []int, function int, seed int64, machine timing.Model) error {
+	fmt.Fprintf(w, "ABL-BATCH — per-attribute vs batched node-table enquiries at %s records\n", human(n))
+	tab, err := datagen.Generate(datagen.Config{
+		Function: function, Attrs: datagen.Seven, Seed: seed,
+	}, n)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procs\truntime per-attr\truntime batched\tall-to-alls per-attr\tall-to-alls batched")
+	for _, p := range procs {
+		world := comm.NewWorld(p, machine)
+		run := func(batched bool) (float64, int64) {
+			res, err := scalparc.TrainOpts(world, tab, splitter.Config{}, scalparc.Options{BatchedEnquiry: batched})
+			if err != nil {
+				panic(err)
+			}
+			return res.ModeledSeconds, res.Stats[0].AllToAlls
+		}
+		pt, pa := run(false)
+		bt, ba := run(true)
+		fmt.Fprintf(tw, "%d\t%.2fs\t%.2fs\t%d\t%d\n", p, pt, bt, pa, ba)
+	}
+	tw.Flush()
+	return nil
+}
+
+// Rebalance runs and prints the ABL-REBAL ablation: the paper's fixed
+// data distribution against per-level list rebalancing, on the
+// pathological spine-shaped correlated dataset where the fixed
+// distribution concentrates deep levels' work on few processors.
+func Rebalance(w io.Writer, n int, procs []int, machine timing.Model) error {
+	fmt.Fprintf(w, "ABL-REBAL — fixed distribution vs per-level rebalancing (%s records, correlated spine data)\n", human(n))
+	schema := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "a", Kind: dataset.Continuous},
+			{Name: "b", Kind: dataset.Continuous},
+			{Name: "c", Kind: dataset.Continuous},
+		},
+		Classes: []string{"L", "R"},
+	}
+	rng := rand.New(rand.NewSource(9))
+	tab := dataset.NewTable(schema, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		cls := 0
+		for hi := 1.0; v < hi/2; hi /= 2 {
+			cls = 1 - cls
+		}
+		if err := tab.AppendRow([]float64{v, v, v}, cls); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procs\truntime fixed\truntime rebalanced\ttraffic/rank fixed\ttraffic/rank rebalanced")
+	for _, p := range procs {
+		world := comm.NewWorld(p, machine)
+		run := func(rebalance bool) (float64, int64) {
+			res, err := scalparc.TrainOpts(world, tab, splitter.Config{}, scalparc.Options{RebalanceLevels: rebalance})
+			if err != nil {
+				panic(err)
+			}
+			var maxSent int64
+			for _, s := range res.Stats {
+				if s.BytesSent > maxSent {
+					maxSent = s.BytesSent
+				}
+			}
+			return res.ModeledSeconds, maxSent
+		}
+		ft, fs := run(false)
+		rt, rs := run(true)
+		fmt.Fprintf(tw, "%d\t%.3fs\t%.3fs\t%.2fMB\t%.2fMB\n", p, ft, rt,
+			float64(fs)/1e6, float64(rs)/1e6)
+	}
+	tw.Flush()
+	return nil
+}
+
+// WeakScaling runs and prints EXP-WEAK: scaled (weak) speedup in the
+// isoefficiency framework of the paper's reference [6]. The problem grows
+// with the machine (N = basePerProc·p); a runtime-scalable algorithm —
+// per-processor overhead O(N/p) per level, the paper's §3 design goal —
+// keeps the parallel runtime near-constant and the scaled efficiency
+// T_1(base)/T_p(N=base·p) near 1.
+func WeakScaling(w io.Writer, basePerProc int, procs []int, function int, seed int64, machine timing.Model) error {
+	fmt.Fprintf(w, "EXP-WEAK — weak scaling at %s records per processor\n", human(basePerProc))
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procs\trecords\truntime\tscaled efficiency")
+	var base float64
+	for _, p := range procs {
+		n := basePerProc * p
+		tab, err := datagen.Generate(datagen.Config{
+			Function: function, Attrs: datagen.Seven, Seed: seed,
+		}, n)
+		if err != nil {
+			return err
+		}
+		world := comm.NewWorld(p, machine)
+		res, err := scalparc.Train(world, tab, splitter.Config{MaxDepth: 10})
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = res.ModeledSeconds * float64(p) / float64(procs[0]) // normalise to the first point
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.2fs\t%.2f\n", p, human(n), res.ModeledSeconds, base/res.ModeledSeconds)
+	}
+	tw.Flush()
+	return nil
+}
+
+// Levels runs and prints EXP-LEVELS: the per-level breakdown of one
+// training run — active nodes, records in play, and each level's share of
+// the modeled runtime (the granularity of the paper's analysis).
+func Levels(w io.Writer, n, p int, function int, seed int64, machine timing.Model) error {
+	fmt.Fprintf(w, "EXP-LEVELS — per-level breakdown (%s records, %d processors)\n", human(n), p)
+	tab, err := datagen.Generate(datagen.Config{
+		Function: function, Attrs: datagen.Seven, Seed: seed,
+	}, n)
+	if err != nil {
+		return err
+	}
+	world := comm.NewWorld(p, machine)
+	res, err := scalparc.Train(world, tab, splitter.Config{})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "level\tactive nodes\tsplit nodes\trecords\tmodeled time")
+	for i, ls := range res.PerLevel {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.3fs\n", i, ls.ActiveNodes, ls.SplitNodes, ls.Records, ls.ModeledSeconds)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "presort %.3fs + %d levels = %.3fs total\n",
+		res.PresortModeledSeconds, res.Levels, res.ModeledSeconds)
+	return nil
+}
+
+// Micro prints the communication-subsystem benchmark the paper's section 5
+// opens with: the linear model's latency/bandwidth constants, plus modeled
+// costs for representative operation sizes.
+func Micro(w io.Writer, machine timing.Model) {
+	fmt.Fprintln(w, "MICRO — simulated machine communication model (linear latency/bandwidth)")
+	fmt.Fprintf(w, "point-to-point: latency %.1f us, bandwidth %.0f MB/s\n",
+		machine.P2PLatency*1e6, machine.P2PBandwidth/1e6)
+	fmt.Fprintf(w, "all-to-all:     latency %.1f us/processor, bandwidth %.0f MB/s\n",
+		machine.A2ALatencyPerProc*1e6, machine.A2ABandwidth/1e6)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "operation\tp=16, 1KB/rank\tp=128, 1KB/rank\tp=128, 1MB/rank")
+	type op struct {
+		name string
+		f    func(p, bytes int) float64
+	}
+	for _, o := range []op{
+		{"all-to-all", machine.AllToAll},
+		{"all-reduce", machine.AllReduce},
+		{"prefix scan", machine.Scan},
+		{"allgather", machine.Allgather},
+	} {
+		fmt.Fprintf(tw, "%s\t%.1f us\t%.1f us\t%.1f ms\n", o.name,
+			o.f(16, 1024)*1e6, o.f(128, 1024)*1e6, o.f(128, 1<<20)*1e3)
+	}
+	tw.Flush()
+}

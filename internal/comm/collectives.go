@@ -1,0 +1,303 @@
+package comm
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// sizeOf returns the in-memory (and, for the flat types this repository
+// transfers, the wire) size of one element of type T.
+func sizeOf[T any]() int {
+	var t T
+	return int(unsafe.Sizeof(t))
+}
+
+// AllToAll performs one step of all-to-all personalized communication:
+// every rank provides one buffer per destination (send[d] goes to rank d)
+// and receives one buffer per source (recv[s] came from rank s). Buffers
+// may be empty or nil; lengths may differ per pair (all-to-allv).
+//
+// This is the primitive of the paper's parallel hashing paradigm: with m
+// keys hashed per processor it runs in O(m) time provided m is Ω(p).
+func AllToAll[T any](c *Comm, send [][]T) [][]T {
+	p := c.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("comm: AllToAll send has %d buffers; world has %d ranks", len(send), p))
+	}
+	es := sizeOf[T]()
+	all := c.exchange(send)
+
+	me := c.Rank()
+	recv := make([][]T, p)
+	sentBytes, recvBytes, maxSent := 0, 0, 0
+	for r := 0; r < p; r++ {
+		mat := all[r].data.([][]T)
+		recv[r] = mat[me]
+		tot := 0
+		for d, buf := range mat {
+			if d != r {
+				tot += len(buf) * es
+			}
+		}
+		if tot > maxSent {
+			maxSent = tot
+		}
+		if r == me {
+			sentBytes = tot
+		}
+		if r != me {
+			recvBytes += len(mat[me]) * es
+		}
+	}
+	st := c.Stats()
+	st.BytesSent += int64(sentBytes)
+	st.BytesRecv += int64(recvBytes)
+	st.AllToAlls++
+	c.Compute(c.Model().AllToAll(p, maxSent))
+	return recv
+}
+
+// AllReduce combines equal-length vectors from every rank elementwise with
+// op (applied in rank order, so non-commutative ops are still deterministic)
+// and returns the combined vector on every rank.
+func AllReduce[T any](c *Comm, x []T, op func(a, b T) T) []T {
+	p := c.Size()
+	es := sizeOf[T]()
+	all := c.exchange(x)
+	n := len(x)
+	out := make([]T, n)
+	first := true
+	for r := 0; r < p; r++ {
+		v := all[r].data.([]T)
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: AllReduce length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+		}
+		if first {
+			copy(out, v)
+			first = false
+			continue
+		}
+		for i := range out {
+			out[i] = op(out[i], v[i])
+		}
+	}
+	bytes := int64(n * es)
+	st := c.Stats()
+	st.BytesSent += bytes
+	st.BytesRecv += bytes
+	st.AllReduces++
+	c.Compute(c.Model().AllReduce(p, n*es))
+	return out
+}
+
+// AllReduceSum is AllReduce specialised to elementwise integer sums, the
+// operation used for count matrices.
+func AllReduceSum(c *Comm, x []int64) []int64 {
+	return AllReduce(c, x, func(a, b int64) int64 { return a + b })
+}
+
+// ExScan computes an exclusive prefix scan: rank r receives the fold (in
+// rank order) of the vectors contributed by ranks 0..r-1; rank 0 receives a
+// vector of zero values. This is the operation FindSplitI uses to turn local
+// class-count matrices into the global count matrix at the start of each
+// rank's list fragment.
+func ExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
+	p := c.Size()
+	es := sizeOf[T]()
+	all := c.exchange(x)
+	n := len(x)
+	out := make([]T, n)
+	for i := range out {
+		out[i] = zero
+	}
+	for r := 0; r < c.Rank(); r++ {
+		v := all[r].data.([]T)
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: ExScan length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+		}
+		for i := range out {
+			out[i] = op(out[i], v[i])
+		}
+	}
+	bytes := int64(n * es)
+	st := c.Stats()
+	st.BytesSent += bytes
+	st.BytesRecv += bytes
+	st.Scans++
+	c.Compute(c.Model().Scan(p, n*es))
+	return out
+}
+
+// ExScanSum is ExScan specialised to integer sums.
+func ExScanSum(c *Comm, x []int64) []int64 {
+	return ExScan(c, x, func(a, b int64) int64 { return a + b }, 0)
+}
+
+// ReverseExScan is ExScan with the rank order reversed: rank r receives the
+// fold (in increasing rank order) of the vectors contributed by ranks
+// r+1..p-1; the last rank receives zero values. FindSplitII uses it to
+// learn the first attribute value of the next non-empty segment to the
+// right, in O(log p) modeled rounds instead of an O(p)-bytes allgather.
+func ReverseExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
+	p := c.Size()
+	es := sizeOf[T]()
+	all := c.exchange(x)
+	n := len(x)
+	out := make([]T, n)
+	for i := range out {
+		out[i] = zero
+	}
+	for r := c.Rank() + 1; r < p; r++ {
+		v := all[r].data.([]T)
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: ReverseExScan length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+		}
+		for i := range out {
+			out[i] = op(out[i], v[i])
+		}
+	}
+	bytes := int64(n * es)
+	st := c.Stats()
+	st.BytesSent += bytes
+	st.BytesRecv += bytes
+	st.Scans++
+	c.Compute(c.Model().Scan(p, n*es))
+	return out
+}
+
+// Allgather returns every rank's contribution, indexed by rank.
+// Contributions may have different lengths (allgatherv).
+func Allgather[T any](c *Comm, x []T) [][]T {
+	p := c.Size()
+	es := sizeOf[T]()
+	all := c.exchange(x)
+	out := make([][]T, p)
+	maxEach, recvBytes := 0, 0
+	for r := 0; r < p; r++ {
+		v := all[r].data.([]T)
+		out[r] = v
+		if b := len(v) * es; b > maxEach {
+			maxEach = b
+		}
+		if r != c.Rank() {
+			recvBytes += len(v) * es
+		}
+	}
+	st := c.Stats()
+	st.BytesSent += int64((p - 1) * len(x) * es)
+	st.BytesRecv += int64(recvBytes)
+	st.Allgathers++
+	c.Compute(c.Model().Allgather(p, maxEach))
+	return out
+}
+
+// AllgatherFlat is Allgather with the per-rank results concatenated in rank
+// order into one slice.
+func AllgatherFlat[T any](c *Comm, x []T) []T {
+	parts := Allgather(c, x)
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Reduce combines equal-length vectors elementwise with op onto the root
+// rank. The root receives the combined vector; every other rank receives
+// nil. op is applied in rank order.
+func Reduce[T any](c *Comm, root int, x []T, op func(a, b T) T) []T {
+	p := c.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("comm: Reduce root %d out of range [0,%d)", root, p))
+	}
+	es := sizeOf[T]()
+	all := c.exchange(x)
+	n := len(x)
+	st := c.Stats()
+	st.Reduces++
+	c.Compute(c.Model().Reduce(p, n*es))
+	if c.Rank() != root {
+		st.BytesSent += int64(n * es)
+		return nil
+	}
+	st.BytesRecv += int64((p - 1) * n * es)
+	out := make([]T, n)
+	first := true
+	for r := 0; r < p; r++ {
+		v := all[r].data.([]T)
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: Reduce length mismatch: root expects %d elements, rank %d has %d", n, r, len(v)))
+		}
+		if first {
+			copy(out, v)
+			first = false
+			continue
+		}
+		for i := range out {
+			out[i] = op(out[i], v[i])
+		}
+	}
+	return out
+}
+
+// ReduceSum is Reduce specialised to integer sums.
+func ReduceSum(c *Comm, root int, x []int64) []int64 {
+	return Reduce(c, root, x, func(a, b int64) int64 { return a + b })
+}
+
+// Bcast distributes the root's vector to every rank. Non-root ranks pass
+// nil (or anything; their contribution is ignored).
+func Bcast[T any](c *Comm, root int, x []T) []T {
+	p := c.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("comm: Bcast root %d out of range [0,%d)", root, p))
+	}
+	es := sizeOf[T]()
+	var contrib []T
+	if c.Rank() == root {
+		contrib = x
+	}
+	all := c.exchange(contrib)
+	out := all[root].data.([]T)
+	st := c.Stats()
+	st.Bcasts++
+	if c.Rank() == root {
+		st.BytesSent += int64((p - 1) * len(out) * es)
+	} else {
+		st.BytesRecv += int64(len(out) * es)
+	}
+	c.Compute(c.Model().Bcast(p, len(out)*es))
+	return out
+}
+
+// Gather collects every rank's contribution onto the root, indexed by rank.
+// Non-root ranks receive nil. Contributions may differ in length.
+func Gather[T any](c *Comm, root int, x []T) [][]T {
+	p := c.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("comm: Gather root %d out of range [0,%d)", root, p))
+	}
+	es := sizeOf[T]()
+	all := c.exchange(x)
+	st := c.Stats()
+	st.Gathers++
+	c.Compute(c.Model().Reduce(p, len(x)*es))
+	if c.Rank() != root {
+		st.BytesSent += int64(len(x) * es)
+		return nil
+	}
+	out := make([][]T, p)
+	recvBytes := 0
+	for r := 0; r < p; r++ {
+		out[r] = all[r].data.([]T)
+		if r != root {
+			recvBytes += len(out[r]) * es
+		}
+	}
+	st.BytesRecv += int64(recvBytes)
+	return out
+}

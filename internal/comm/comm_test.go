@@ -1,0 +1,717 @@
+package comm
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+func testSizes() []int { return []int{1, 2, 3, 4, 7, 8, 16} }
+
+func TestNewWorldValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0, timing.T3D())
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// No rank may observe the post-barrier phase before every rank has
+	// finished the pre-barrier phase.
+	for _, p := range testSizes() {
+		w := NewWorld(p, timing.T3D())
+		var entered int64
+		fail := int64(0)
+		for round := 0; round < 10; round++ {
+			w.Run(func(c *Comm) {
+				atomic.AddInt64(&entered, 1)
+				c.Barrier()
+				if atomic.LoadInt64(&entered) != int64(p*(round+1)) {
+					atomic.StoreInt64(&fail, 1)
+				}
+				c.Barrier()
+			})
+		}
+		if fail != 0 {
+			t.Fatalf("p=%d: a rank passed the barrier before all ranks arrived", p)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w := NewWorld(5, timing.T3D())
+	w.Run(func(c *Comm) {
+		for i := 0; i < 200; i++ {
+			c.Barrier()
+		}
+	})
+	if got := w.Stats()[0].Barriers; got != 200 {
+		t.Fatalf("rank 0 counted %d barriers, want 200", got)
+	}
+}
+
+func TestAllToAllIdentityPermutation(t *testing.T) {
+	for _, p := range testSizes() {
+		w := NewWorld(p, timing.T3D())
+		got := make([][][]int32, p)
+		w.Run(func(c *Comm) {
+			send := make([][]int32, p)
+			for d := 0; d < p; d++ {
+				send[d] = []int32{int32(c.Rank()*1000 + d)}
+			}
+			got[c.Rank()] = AllToAll(c, send)
+		})
+		for me := 0; me < p; me++ {
+			for src := 0; src < p; src++ {
+				want := int32(src*1000 + me)
+				if len(got[me][src]) != 1 || got[me][src][0] != want {
+					t.Fatalf("p=%d: rank %d recv[%d]=%v, want [%d]", p, me, src, got[me][src], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllToAllVariableLengths(t *testing.T) {
+	// Rank r sends r+d elements to rank d (including zero-length buffers
+	// when r+d == 0). Every element must arrive exactly once, in order.
+	p := 5
+	w := NewWorld(p, timing.T3D())
+	got := make([][][]int, p)
+	w.Run(func(c *Comm) {
+		send := make([][]int, p)
+		for d := 0; d < p; d++ {
+			n := (c.Rank() + d) % 4 // some buffers empty
+			for i := 0; i < n; i++ {
+				send[d] = append(send[d], c.Rank()*100+d*10+i)
+			}
+		}
+		got[c.Rank()] = AllToAll(c, send)
+	})
+	for me := 0; me < p; me++ {
+		for src := 0; src < p; src++ {
+			n := (src + me) % 4
+			if len(got[me][src]) != n {
+				t.Fatalf("rank %d from %d: got %d elements, want %d", me, src, len(got[me][src]), n)
+			}
+			for i, v := range got[me][src] {
+				if want := src*100 + me*10 + i; v != want {
+					t.Fatalf("rank %d from %d elem %d: got %d want %d", me, src, i, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllToAllConservesElements(t *testing.T) {
+	// Property: any randomly generated traffic matrix is delivered intact.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(8)
+		w := NewWorld(p, timing.T3D())
+		sent := make([][][]int64, p)
+		for r := range sent {
+			sent[r] = make([][]int64, p)
+			for d := range sent[r] {
+				n := rng.Intn(20)
+				for i := 0; i < n; i++ {
+					sent[r][d] = append(sent[r][d], rng.Int63())
+				}
+			}
+		}
+		recv := make([][][]int64, p)
+		w.Run(func(c *Comm) {
+			recv[c.Rank()] = AllToAll(c, sent[c.Rank()])
+		})
+		for me := 0; me < p; me++ {
+			for src := 0; src < p; src++ {
+				if len(recv[me][src]) != len(sent[src][me]) {
+					return false
+				}
+				for i := range recv[me][src] {
+					if recv[me][src][i] != sent[src][me][i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, p := range testSizes() {
+		w := NewWorld(p, timing.T3D())
+		results := make([][]int64, p)
+		w.Run(func(c *Comm) {
+			local := []int64{int64(c.Rank()), 1, int64(c.Rank() * c.Rank())}
+			results[c.Rank()] = AllReduceSum(c, local)
+		})
+		var wantSq int64
+		for r := 0; r < p; r++ {
+			wantSq += int64(r * r)
+		}
+		want := []int64{int64(p * (p - 1) / 2), int64(p), wantSq}
+		for r := 0; r < p; r++ {
+			for i := range want {
+				if results[r][i] != want[i] {
+					t.Fatalf("p=%d rank=%d elem %d: got %d want %d", p, r, i, results[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceNonCommutativeDeterministic(t *testing.T) {
+	// op is string-ish concatenation encoded in ints: (a,b) -> a*10+b.
+	// Rank order must be respected: result = ((0*10+1)*10+2)... for p ranks.
+	p := 4
+	w := NewWorld(p, timing.T3D())
+	results := make([][]int, p)
+	w.Run(func(c *Comm) {
+		results[c.Rank()] = AllReduce(c, []int{c.Rank()}, func(a, b int) int { return a*10 + b })
+	})
+	want := 123 // ((0*10+1)*10+2)*10+3
+	for r := 0; r < p; r++ {
+		if results[r][0] != want {
+			t.Fatalf("rank %d: got %d want %d", r, results[r][0], want)
+		}
+	}
+}
+
+func TestAllReduceLengthMismatchPanics(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	panicked := make([]bool, 2)
+	w.Run(func(c *Comm) {
+		defer func() { panicked[c.Rank()] = recover() != nil }()
+		AllReduceSum(c, make([]int64, 1+c.Rank()))
+	})
+	for r, p := range panicked {
+		if !p {
+			t.Fatalf("rank %d did not panic on length mismatch", r)
+		}
+	}
+}
+
+func TestExScanSum(t *testing.T) {
+	for _, p := range testSizes() {
+		w := NewWorld(p, timing.T3D())
+		results := make([][]int64, p)
+		w.Run(func(c *Comm) {
+			results[c.Rank()] = ExScanSum(c, []int64{int64(c.Rank() + 1), 10})
+		})
+		for r := 0; r < p; r++ {
+			want0 := int64(r * (r + 1) / 2) // sum of 1..r
+			want1 := int64(10 * r)
+			if results[r][0] != want0 || results[r][1] != want1 {
+				t.Fatalf("p=%d rank=%d: got %v want [%d %d]", p, r, results[r], want0, want1)
+			}
+		}
+	}
+}
+
+func TestReverseExScan(t *testing.T) {
+	// Fold "first defined value to my right": rank r must see rank r+1's
+	// value when defined, else the next defined one, else zero.
+	type bound struct {
+		Has uint8
+		Val float64
+	}
+	firstDefined := func(a, b bound) bound {
+		if a.Has == 1 {
+			return a
+		}
+		return b
+	}
+	p := 6
+	w := NewWorld(p, timing.T3D())
+	// Ranks 2 and 5 contribute defined values.
+	results := make([][]bound, p)
+	w.Run(func(c *Comm) {
+		var mine bound
+		if c.Rank() == 2 {
+			mine = bound{1, 2.5}
+		}
+		if c.Rank() == 5 {
+			mine = bound{1, 5.5}
+		}
+		results[c.Rank()] = ReverseExScan(c, []bound{mine}, firstDefined, bound{})
+	})
+	want := []bound{{1, 2.5}, {1, 2.5}, {1, 5.5}, {1, 5.5}, {1, 5.5}, {0, 0}}
+	for r := 0; r < p; r++ {
+		if results[r][0] != want[r] {
+			t.Fatalf("rank %d got %+v want %+v", r, results[r][0], want[r])
+		}
+	}
+}
+
+func TestReverseExScanSumMirrorsExScan(t *testing.T) {
+	p := 5
+	w := NewWorld(p, timing.T3D())
+	results := make([][]int64, p)
+	w.Run(func(c *Comm) {
+		results[c.Rank()] = ReverseExScan(c, []int64{int64(c.Rank() + 1)},
+			func(a, b int64) int64 { return a + b }, 0)
+	})
+	for r := 0; r < p; r++ {
+		var want int64
+		for j := r + 1; j < p; j++ {
+			want += int64(j + 1)
+		}
+		if results[r][0] != want {
+			t.Fatalf("rank %d: got %d want %d", r, results[r][0], want)
+		}
+	}
+	if results[p-1][0] != 0 {
+		t.Fatal("last rank must receive the zero value")
+	}
+}
+
+func TestReverseExScanLengthMismatchPanics(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	panicked := make([]bool, 2)
+	w.Run(func(c *Comm) {
+		defer func() { panicked[c.Rank()] = recover() != nil }()
+		ReverseExScan(c, make([]int64, 1+c.Rank()), func(a, b int64) int64 { return a + b }, 0)
+	})
+	if !panicked[0] {
+		// Rank 1 folds nothing (no ranks to its right), so only ranks
+		// with a right-hand neighbour are guaranteed to detect it.
+		t.Fatal("rank 0 did not panic on length mismatch")
+	}
+}
+
+func TestExScanRankZeroGetsZeroValue(t *testing.T) {
+	w := NewWorld(3, timing.T3D())
+	results := make([][]float64, 3)
+	w.Run(func(c *Comm) {
+		results[c.Rank()] = ExScan(c, []float64{float64(c.Rank()) + 0.5},
+			func(a, b float64) float64 { return a + b }, 0)
+	})
+	if results[0][0] != 0 {
+		t.Fatalf("rank 0 exclusive scan = %v, want 0", results[0][0])
+	}
+	if results[2][0] != 0.5+1.5 {
+		t.Fatalf("rank 2 exclusive scan = %v, want 2.0", results[2][0])
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	p := 6
+	w := NewWorld(p, timing.T3D())
+	results := make([][][]int32, p)
+	w.Run(func(c *Comm) {
+		// variable lengths: rank r contributes r elements
+		local := make([]int32, c.Rank())
+		for i := range local {
+			local[i] = int32(c.Rank()*10 + i)
+		}
+		results[c.Rank()] = Allgather(c, local)
+	})
+	for me := 0; me < p; me++ {
+		for r := 0; r < p; r++ {
+			if len(results[me][r]) != r {
+				t.Fatalf("rank %d sees %d elements from rank %d, want %d", me, len(results[me][r]), r, r)
+			}
+			for i, v := range results[me][r] {
+				if want := int32(r*10 + i); v != want {
+					t.Fatalf("rank %d from %d elem %d: got %d want %d", me, r, i, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherFlat(t *testing.T) {
+	p := 4
+	w := NewWorld(p, timing.T3D())
+	results := make([][]int, p)
+	w.Run(func(c *Comm) {
+		results[c.Rank()] = AllgatherFlat(c, []int{c.Rank()})
+	})
+	for r := 0; r < p; r++ {
+		for i := 0; i < p; i++ {
+			if results[r][i] != i {
+				t.Fatalf("rank %d: flat allgather = %v", r, results[r])
+			}
+		}
+	}
+}
+
+func TestReduceOnlyRootReceives(t *testing.T) {
+	p, root := 5, 3
+	w := NewWorld(p, timing.T3D())
+	results := make([][]int64, p)
+	w.Run(func(c *Comm) {
+		results[c.Rank()] = ReduceSum(c, root, []int64{int64(c.Rank())})
+	})
+	for r := 0; r < p; r++ {
+		if r == root {
+			if results[r] == nil || results[r][0] != int64(p*(p-1)/2) {
+				t.Fatalf("root got %v, want [%d]", results[r], p*(p-1)/2)
+			}
+		} else if results[r] != nil {
+			t.Fatalf("non-root rank %d got %v, want nil", r, results[r])
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range testSizes() {
+		root := p - 1
+		w := NewWorld(p, timing.T3D())
+		results := make([][]string, p)
+		w.Run(func(c *Comm) {
+			var payload []string
+			if c.Rank() == root {
+				payload = []string{"alpha", "beta"}
+			}
+			results[c.Rank()] = Bcast(c, root, payload)
+		})
+		for r := 0; r < p; r++ {
+			if len(results[r]) != 2 || results[r][0] != "alpha" || results[r][1] != "beta" {
+				t.Fatalf("p=%d rank %d got %v", p, r, results[r])
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	p, root := 4, 0
+	w := NewWorld(p, timing.T3D())
+	results := make([][][]int, p)
+	w.Run(func(c *Comm) {
+		results[c.Rank()] = Gather(c, root, []int{c.Rank(), c.Rank() * 2})
+	})
+	for r := 1; r < p; r++ {
+		if results[r] != nil {
+			t.Fatalf("non-root rank %d got non-nil gather result", r)
+		}
+	}
+	for r := 0; r < p; r++ {
+		got := results[root][r]
+		if len(got) != 2 || got[0] != r || got[1] != 2*r {
+			t.Fatalf("root sees %v from rank %d", got, r)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	var got []float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, []float64{3.14, 2.71})
+		} else {
+			got = Recv[float64](c, 0)
+		}
+	})
+	if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSendCopiesTheBuffer(t *testing.T) {
+	// Regression: a sender mutating its buffer immediately after Send
+	// must not corrupt the in-flight message (the distance-doubling scan
+	// does exactly this).
+	w := NewWorld(2, timing.T3D())
+	var got []int
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []int{1, 2, 3}
+			Send(c, 1, buf)
+			buf[0], buf[1], buf[2] = 9, 9, 9
+			c.Barrier()
+		} else {
+			c.Barrier() // receive strictly after the sender's mutation
+			got = Recv[int](c, 0)
+		}
+	})
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("message corrupted by post-send mutation: %v", got)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	p := 6
+	w := NewWorld(p, timing.T3D())
+	results := make([][]int, p)
+	w.Run(func(c *Comm) {
+		partner := (c.Rank() + p/2) % p
+		results[c.Rank()] = SendRecv(c, partner, []int{c.Rank()})
+	})
+	for r := 0; r < p; r++ {
+		partner := (r + p/2) % p
+		if results[r][0] != partner {
+			t.Fatalf("rank %d exchanged with %d, got %v", r, partner, results[r])
+		}
+	}
+}
+
+func TestSendRecvSelf(t *testing.T) {
+	w := NewWorld(1, timing.T3D())
+	w.Run(func(c *Comm) {
+		out := SendRecv(c, 0, []int{42})
+		if len(out) != 1 || out[0] != 42 {
+			panic("self exchange failed")
+		}
+	})
+}
+
+func TestSingleRankDegenerate(t *testing.T) {
+	// Every collective must work (trivially) with p=1.
+	w := NewWorld(1, timing.T3D())
+	w.Run(func(c *Comm) {
+		c.Barrier()
+		r := AllToAll(c, [][]int{{1, 2, 3}})
+		if len(r) != 1 || len(r[0]) != 3 {
+			panic("p=1 alltoall")
+		}
+		if s := AllReduceSum(c, []int64{7})[0]; s != 7 {
+			panic("p=1 allreduce")
+		}
+		if s := ExScanSum(c, []int64{7})[0]; s != 0 {
+			panic("p=1 exscan")
+		}
+		if g := Allgather(c, []int{5}); len(g) != 1 || g[0][0] != 5 {
+			panic("p=1 allgather")
+		}
+		if b := Bcast(c, 0, []int{9}); b[0] != 9 {
+			panic("p=1 bcast")
+		}
+	})
+}
+
+func TestClocksSynchronizeAtCollectives(t *testing.T) {
+	// One slow rank delays everybody: after a barrier all clocks must be
+	// at least the slow rank's pre-barrier clock.
+	p := 4
+	w := NewWorld(p, timing.T3D())
+	clocks := make([]float64, p)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 2 {
+			c.Compute(1.0) // one second of local work
+		}
+		c.Barrier()
+		clocks[c.Rank()] = c.Clock()
+	})
+	for r := 0; r < p; r++ {
+		if clocks[r] < 1.0 {
+			t.Fatalf("rank %d clock %.6f < 1.0 after barrier behind slow rank", r, clocks[r])
+		}
+	}
+	// All ranks leave a barrier with the same clock.
+	for r := 1; r < p; r++ {
+		if clocks[r] != clocks[0] {
+			t.Fatalf("clocks diverge after barrier: %v", clocks)
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	w := NewWorld(3, timing.T3D())
+	w.Run(func(c *Comm) {
+		prev := c.Clock()
+		for i := 0; i < 5; i++ {
+			AllReduceSum(c, []int64{1})
+			if c.Clock() < prev {
+				panic("clock went backwards")
+			}
+			prev = c.Clock()
+		}
+	})
+	if w.MaxClock() <= 0 {
+		t.Fatal("MaxClock not advanced by collectives")
+	}
+}
+
+func TestComputeNegativeIgnored(t *testing.T) {
+	w := NewWorld(1, timing.T3D())
+	w.Run(func(c *Comm) {
+		c.Compute(-5)
+		if c.Clock() != 0 {
+			panic("negative compute changed clock")
+		}
+	})
+}
+
+func TestResetClocks(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	w.Run(func(c *Comm) { c.Compute(1); c.Barrier() })
+	if w.MaxClock() <= 0 {
+		t.Fatal("clock should be positive")
+	}
+	w.ResetClocks()
+	if w.MaxClock() != 0 {
+		t.Fatal("ResetClocks did not zero clocks")
+	}
+}
+
+func TestStatsCountBytes(t *testing.T) {
+	p := 4
+	w := NewWorld(p, timing.T3D())
+	w.Run(func(c *Comm) {
+		send := make([][]int64, p) // 8 bytes per element
+		for d := 0; d < p; d++ {
+			send[d] = []int64{1, 2} // 16 bytes per destination
+		}
+		AllToAll(c, send)
+	})
+	st := w.Stats()
+	for r := 0; r < p; r++ {
+		wantSent := int64((p - 1) * 16) // self-copy free
+		if st[r].BytesSent != wantSent {
+			t.Fatalf("rank %d sent %d bytes, want %d", r, st[r].BytesSent, wantSent)
+		}
+		if st[r].BytesRecv != wantSent {
+			t.Fatalf("rank %d recv %d bytes, want %d", r, st[r].BytesRecv, wantSent)
+		}
+		if st[r].AllToAlls != 1 {
+			t.Fatalf("rank %d counted %d alltoalls", r, st[r].AllToAlls)
+		}
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	// Global bytes sent == global bytes received for random traffic.
+	rng := rand.New(rand.NewSource(42))
+	p := 5
+	w := NewWorld(p, timing.T3D())
+	sent := make([][][]byte, p)
+	for r := range sent {
+		sent[r] = make([][]byte, p)
+		for d := range sent[r] {
+			sent[r][d] = make([]byte, rng.Intn(100))
+		}
+	}
+	w.Run(func(c *Comm) {
+		AllToAll(c, sent[c.Rank()])
+	})
+	var totSent, totRecv int64
+	for _, s := range w.Stats() {
+		totSent += s.BytesSent
+		totRecv += s.BytesRecv
+	}
+	if totSent != totRecv {
+		t.Fatalf("sent %d != recv %d", totSent, totRecv)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	w.Run(func(c *Comm) { AllReduceSum(c, []int64{1}) })
+	w.ResetStats()
+	for r, s := range w.Stats() {
+		if s != (Stats{}) {
+			t.Fatalf("rank %d stats not reset: %+v", r, s)
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{BytesSent: 1, BytesRecv: 2, AllToAlls: 3}
+	a.Add(Stats{BytesSent: 10, BytesRecv: 20, AllToAlls: 30, Barriers: 1})
+	if a.BytesSent != 11 || a.BytesRecv != 22 || a.AllToAlls != 33 || a.Barriers != 1 {
+		t.Fatalf("Add result: %+v", a)
+	}
+}
+
+func TestMemMeter(t *testing.T) {
+	var m MemMeter
+	m.Alloc(100)
+	m.Alloc(50)
+	if m.Current() != 150 || m.Peak() != 150 {
+		t.Fatalf("cur=%d peak=%d", m.Current(), m.Peak())
+	}
+	m.Free(120)
+	if m.Current() != 30 || m.Peak() != 150 {
+		t.Fatalf("after free: cur=%d peak=%d", m.Current(), m.Peak())
+	}
+	m.Adjust(70)
+	m.Adjust(-100)
+	if m.Current() != 0 || m.Peak() != 150 {
+		t.Fatalf("after adjust: cur=%d peak=%d", m.Current(), m.Peak())
+	}
+}
+
+func TestMemMeterOverfreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free did not panic")
+		}
+	}()
+	var m MemMeter
+	m.Alloc(10)
+	m.Free(11)
+}
+
+func TestWorldMemoryAccessors(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	w.Run(func(c *Comm) {
+		c.Mem().Alloc(int64(100 * (c.Rank() + 1)))
+	})
+	peaks := w.PeakMemory()
+	if peaks[0] != 100 || peaks[1] != 200 {
+		t.Fatalf("peaks=%v", peaks)
+	}
+	w.ResetMemory()
+	for _, pk := range w.PeakMemory() {
+		if pk != 0 {
+			t.Fatal("ResetMemory did not zero peaks")
+		}
+	}
+}
+
+func TestRankAccessorsAndBounds(t *testing.T) {
+	w := NewWorld(3, timing.T3D())
+	if w.Size() != 3 {
+		t.Fatalf("Size=%d", w.Size())
+	}
+	c := w.Rank(2)
+	if c.Rank() != 2 || c.Size() != 3 {
+		t.Fatalf("rank accessors wrong: %d %d", c.Rank(), c.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Rank did not panic")
+		}
+	}()
+	w.Rank(3)
+}
+
+func TestConsecutiveCollectivesNoCrosstalk(t *testing.T) {
+	// Back-to-back collectives of different types must not read each
+	// other's deposits (the double-barrier protocol under test).
+	p := 4
+	w := NewWorld(p, timing.T3D())
+	ok := make([]bool, p)
+	w.Run(func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			s := AllReduceSum(c, []int64{int64(i)})[0]
+			if s != int64(i*p) {
+				return
+			}
+			g := AllgatherFlat(c, []int32{int32(c.Rank() + i)})
+			for r := 0; r < p; r++ {
+				if g[r] != int32(r+i) {
+					return
+				}
+			}
+		}
+		ok[c.Rank()] = true
+	})
+	for r, o := range ok {
+		if !o {
+			t.Fatalf("rank %d observed crosstalk between consecutive collectives", r)
+		}
+	}
+}

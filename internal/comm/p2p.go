@@ -1,0 +1,75 @@
+package comm
+
+import "fmt"
+
+// Send transmits a vector to rank dst. It blocks only if dst's mailbox for
+// this sender is full (small fixed buffering, like an MPI eager send).
+// The message carries the sender's virtual clock so the receiver can model
+// transfer completion time.
+func Send[T any](c *Comm, dst int, x []T) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("comm: Send to rank %d out of range [0,%d)", dst, c.Size()))
+	}
+	if dst == c.Rank() {
+		panic("comm: Send to self; use a local copy instead")
+	}
+	bytes := len(x) * sizeOf[T]()
+	st := c.Stats()
+	st.BytesSent += int64(bytes)
+	st.MsgsSent++
+	// Copy the buffer, as a real eager send does: the caller is free to
+	// mutate x the moment Send returns.
+	buf := make([]T, len(x))
+	copy(buf, x)
+	// The sender pays the startup latency and hands the data off.
+	c.Compute(c.Model().P2PLatency)
+	c.w.mail[c.Rank()][dst] <- pmessage{data: buf, bytes: bytes, clock: c.Clock()}
+}
+
+// Recv receives the next vector sent by rank src. It blocks until a message
+// is available. The receiver's clock advances to the point at which the
+// transfer could have completed: max(receive posted, send posted) plus the
+// modeled transfer time.
+func Recv[T any](c *Comm, src int) []T {
+	if src < 0 || src >= c.Size() {
+		panic(fmt.Sprintf("comm: Recv from rank %d out of range [0,%d)", src, c.Size()))
+	}
+	if src == c.Rank() {
+		panic("comm: Recv from self; use a local copy instead")
+	}
+	m := <-c.w.mail[src][c.Rank()]
+	x, ok := m.data.([]T)
+	if !ok {
+		panic(fmt.Sprintf("comm: Recv type mismatch from rank %d: got %T", src, m.data))
+	}
+	st := c.Stats()
+	st.BytesRecv += int64(m.bytes)
+	st.MsgsRecv++
+	start := c.Clock()
+	if m.clock > start {
+		start = m.clock
+	}
+	c.w.clocks[c.Rank()] = start + float64(m.bytes)/c.Model().P2PBandwidth
+	return x
+}
+
+// SendRecv exchanges vectors with a partner rank in a single deadlock-free
+// step (both sides must call it with each other as partner). It is the
+// building block of the "parallel shift" after sample sort.
+func SendRecv[T any](c *Comm, partner int, x []T) []T {
+	if partner == c.Rank() {
+		out := make([]T, len(x))
+		copy(out, x)
+		return out
+	}
+	// Lower rank sends first; the 4-slot mailbox buffering makes the
+	// opposite order safe too, but a fixed order keeps the virtual-clock
+	// accounting deterministic.
+	if c.Rank() < partner {
+		Send(c, partner, x)
+		return Recv[T](c, partner)
+	}
+	out := Recv[T](c, partner)
+	Send(c, partner, x)
+	return out
+}

@@ -1,0 +1,291 @@
+// Package comm is the message-passing substrate of the repository: a
+// simulated distributed-memory parallel machine.
+//
+// The ScalParC paper runs on a Cray T3D under MPI. Go has no MPI ecosystem,
+// so this package hand-rolls the message-passing layer the algorithm needs:
+// a World of p ranks (one goroutine each, private state, no shared data
+// structures above this layer) with MPI-style operations — barrier,
+// point-to-point send/receive, all-to-all personalized exchange, all-reduce,
+// reduce, exclusive prefix scan, allgather, and broadcast.
+//
+// Beyond moving data, the layer provides the two measurements the paper's
+// evaluation is built on:
+//
+//   - Virtual clocks. Every rank carries a clock; Compute advances it by
+//     modeled computation time, each communication operation advances it by
+//     the timing.Model cost, and synchronizing operations set all
+//     participating clocks to the maximum first (a rank cannot leave a
+//     collective before the slowest participant arrives). The maximum final
+//     clock is the modeled parallel runtime T_p, deterministic and
+//     independent of the host's core count.
+//
+//   - Byte and memory accounting. Per-rank counters record bytes sent and
+//     received by every operation, and a memory meter records the peak of
+//     all tracked allocations (attribute lists, node table, communication
+//     buffers). These expose the O(N) vs O(N/p) distinction between
+//     parallel SPRINT and ScalParC directly.
+//
+// Element types transferred through the generic collectives must be "flat"
+// (no pointers, slices, or maps) so that unsafe.Sizeof gives their true
+// wire size; all types used by this repository are flat structs of scalars.
+//
+// Buffer ownership: point-to-point Send copies its buffer (like an MPI
+// eager send), so the caller may reuse it immediately. Collectives, for
+// efficiency, may return slices that alias other ranks' contribution
+// buffers — treat collective inputs as frozen for the duration of the call
+// and collective results as read-only (copy before mutating).
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/timing"
+)
+
+// World is a simulated parallel machine with a fixed number of ranks.
+// Create one with NewWorld, then either call Run to execute an SPMD function
+// on every rank, or obtain individual *Comm handles with Rank.
+type World struct {
+	p     int
+	model timing.Model
+
+	bar *barrier
+
+	// cells is the deposit slot array used by all collectives: each rank
+	// writes cells[rank] between two barriers, then every rank reads all
+	// slots between the next two. Only ever accessed under the barrier
+	// protocol, so no additional locking is needed.
+	cells []deposit
+
+	clocks []float64
+	stats  []Stats
+	mem    []MemMeter
+
+	mail [][]chan pmessage // mail[src][dst]
+}
+
+type deposit struct {
+	data  any
+	clock float64
+}
+
+type pmessage struct {
+	data  any
+	bytes int
+	clock float64
+}
+
+// NewWorld creates a simulated machine with p ranks and the given cost
+// model. p must be at least 1.
+func NewWorld(p int, model timing.Model) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: NewWorld with p=%d; need p >= 1", p))
+	}
+	w := &World{
+		p:      p,
+		model:  model,
+		bar:    newBarrier(p),
+		cells:  make([]deposit, p),
+		clocks: make([]float64, p),
+		stats:  make([]Stats, p),
+		mem:    make([]MemMeter, p),
+		mail:   make([][]chan pmessage, p),
+	}
+	for i := range w.mail {
+		w.mail[i] = make([]chan pmessage, p)
+		for j := range w.mail[i] {
+			w.mail[i][j] = make(chan pmessage, 4)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.p }
+
+// Model returns the world's cost model.
+func (w *World) Model() timing.Model { return w.model }
+
+// Rank returns the communicator handle for the given rank.
+func (w *World) Rank(r int) *Comm {
+	if r < 0 || r >= w.p {
+		panic(fmt.Sprintf("comm: Rank(%d) out of range [0,%d)", r, w.p))
+	}
+	return &Comm{w: w, rank: r}
+}
+
+// Run executes f once per rank, each on its own goroutine, and returns when
+// all ranks have finished. It is the standard way to run an SPMD section.
+// A panic on any rank propagates and crashes the program, as an unrecovered
+// invariant violation should.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(w.p)
+	for r := 0; r < w.p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			f(w.Rank(r))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// MaxClock returns the maximum virtual clock over all ranks: the modeled
+// parallel runtime of everything executed so far. Call only while no SPMD
+// section is running.
+func (w *World) MaxClock() float64 {
+	max := 0.0
+	for _, c := range w.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ResetClocks zeroes every rank's virtual clock. Call only while no SPMD
+// section is running.
+func (w *World) ResetClocks() {
+	for i := range w.clocks {
+		w.clocks[i] = 0
+	}
+}
+
+// Stats returns a copy of the accumulated per-rank statistics. Call only
+// while no SPMD section is running.
+func (w *World) Stats() []Stats {
+	out := make([]Stats, w.p)
+	copy(out, w.stats)
+	return out
+}
+
+// ResetStats zeroes the per-rank statistics. Call only while no SPMD
+// section is running.
+func (w *World) ResetStats() {
+	for i := range w.stats {
+		w.stats[i] = Stats{}
+	}
+}
+
+// PeakMemory returns the per-rank peak tracked memory in bytes. Call only
+// while no SPMD section is running.
+func (w *World) PeakMemory() []int64 {
+	out := make([]int64, w.p)
+	for i := range w.mem {
+		out[i] = w.mem[i].Peak()
+	}
+	return out
+}
+
+// ResetMemory resets the per-rank memory meters (both current and peak).
+// Call only while no SPMD section is running.
+func (w *World) ResetMemory() {
+	for i := range w.mem {
+		w.mem[i] = MemMeter{}
+	}
+}
+
+// Comm is one rank's handle onto the world. All methods are called from
+// that rank's goroutine only.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.p }
+
+// Model returns the world's cost model.
+func (c *Comm) Model() timing.Model { return c.w.model }
+
+// Clock returns this rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.w.clocks[c.rank] }
+
+// Compute advances this rank's virtual clock by the given number of modeled
+// seconds of local computation. Negative durations are ignored.
+func (c *Comm) Compute(seconds float64) {
+	if seconds > 0 {
+		c.w.clocks[c.rank] += seconds
+	}
+}
+
+// Mem returns this rank's memory meter.
+func (c *Comm) Mem() *MemMeter { return &c.w.mem[c.rank] }
+
+// Stats returns a pointer to this rank's statistics record.
+func (c *Comm) Stats() *Stats { return &c.w.stats[c.rank] }
+
+// Barrier blocks until every rank has entered it, synchronizes virtual
+// clocks to the maximum, and charges the modeled barrier cost.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.cells[c.rank] = deposit{clock: w.clocks[c.rank]}
+	w.bar.await()
+	max := 0.0
+	for r := 0; r < w.p; r++ {
+		if w.cells[r].clock > max {
+			max = w.cells[r].clock
+		}
+	}
+	w.bar.await()
+	w.clocks[c.rank] = max + w.model.Barrier(w.p)
+	w.stats[c.rank].Barriers++
+}
+
+// exchange is the collective building block: every rank deposits one value
+// and receives the full vector of deposits in rank order. The two barriers
+// make the deposit array race-free between consecutive exchanges. The
+// caller's clock is synchronized to the maximum deposit clock; the caller
+// then adds the operation-specific modeled cost.
+func (c *Comm) exchange(data any) []deposit {
+	w := c.w
+	w.cells[c.rank] = deposit{data: data, clock: w.clocks[c.rank]}
+	w.bar.await()
+	all := make([]deposit, w.p)
+	copy(all, w.cells)
+	w.bar.await()
+	max := 0.0
+	for r := range all {
+		if all[r].clock > max {
+			max = all[r].clock
+		}
+	}
+	w.clocks[c.rank] = max
+	return all
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table with a header row. Continuous values print with
+// full precision; categorical values and the class print their string
+// labels, so files round-trip through ReadCSV.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Schema.Attrs)+1)
+	for _, a := range t.Schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	for r := 0; r < t.NumRows(); r++ {
+		for a, attr := range t.Schema.Attrs {
+			if attr.Kind == Continuous {
+				row[a] = strconv.FormatFloat(t.ContValue(a, r), 'g', -1, 64)
+			} else {
+				row[a] = attr.Values[t.CatValue(a, r)]
+			}
+		}
+		row[len(row)-1] = t.Schema.Classes[t.Class[r]]
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table in WriteCSV's format against the given schema.
+// The header is validated against the schema's attribute names.
+func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(s.Attrs) + 1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for a, attr := range s.Attrs {
+		if header[a] != attr.Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q; schema expects %q", a, header[a], attr.Name)
+		}
+	}
+	if header[len(header)-1] != "class" {
+		return nil, fmt.Errorf("dataset: last CSV column is %q; expected \"class\"", header[len(header)-1])
+	}
+
+	catIndex := make([]map[string]int, len(s.Attrs))
+	for a, attr := range s.Attrs {
+		if attr.Kind == Categorical {
+			m := make(map[string]int, len(attr.Values))
+			for i, v := range attr.Values {
+				m[v] = i
+			}
+			catIndex[a] = m
+		}
+	}
+	classIndex := make(map[string]int, len(s.Classes))
+	for i, c := range s.Classes {
+		classIndex[c] = i
+	}
+
+	t := NewTable(s, 0)
+	vals := make([]float64, len(s.Attrs))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		for a, attr := range s.Attrs {
+			if attr.Kind == Continuous {
+				v, err := strconv.ParseFloat(rec[a], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d attribute %q: %w", line, attr.Name, err)
+				}
+				vals[a] = v
+			} else {
+				idx, ok := catIndex[a][rec[a]]
+				if !ok {
+					return nil, fmt.Errorf("dataset: line %d attribute %q: unknown value %q", line, attr.Name, rec[a])
+				}
+				vals[a] = float64(idx)
+			}
+		}
+		cls, ok := classIndex[rec[len(rec)-1]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, rec[len(rec)-1])
+		}
+		if err := t.AppendRow(vals, cls); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := buildSmallTable(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, tab.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tab.NumRows() {
+		t.Fatalf("rows %d != %d", got.NumRows(), tab.NumRows())
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		if got.Class[r] != tab.Class[r] {
+			t.Fatalf("row %d class mismatch", r)
+		}
+		for a := range tab.Schema.Attrs {
+			if got.Value(a, r) != tab.Value(a, r) {
+				t.Fatalf("row %d attr %d: %v != %v", r, a, got.Value(a, r), tab.Value(a, r))
+			}
+		}
+	}
+}
+
+func TestCSVHeaderValidation(t *testing.T) {
+	s := twoClassSchema()
+	bad := "salary,age,wrong,class\n1,2,none,A\n"
+	if _, err := ReadCSV(strings.NewReader(bad), s); err == nil || !strings.Contains(err.Error(), "wrong") {
+		t.Fatalf("bad header accepted: %v", err)
+	}
+	noClass := "salary,age,elevel,label\n"
+	if _, err := ReadCSV(strings.NewReader(noClass), s); err == nil {
+		t.Fatal("missing class column accepted")
+	}
+}
+
+func TestCSVBadValues(t *testing.T) {
+	s := twoClassSchema()
+	header := "salary,age,elevel,class\n"
+	cases := []struct{ name, row, want string }{
+		{"bad float", "abc,30,hs,A", "salary"},
+		{"bad category", "1,30,phd,A", "unknown value"},
+		{"bad class", "1,30,hs,C", "unknown class"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(header+c.row+"\n"), s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCSVEmptyBody(t *testing.T) {
+	s := twoClassSchema()
+	tab, err := ReadCSV(strings.NewReader("salary,age,elevel,class\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 0 {
+		t.Fatalf("rows=%d", tab.NumRows())
+	}
+}
+
+func TestCSVRejectsInvalidSchema(t *testing.T) {
+	s := &Schema{Classes: []string{"A", "B"}} // no attributes
+	if _, err := ReadCSV(strings.NewReader(""), s); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoClassSchema() *Schema {
+	return &Schema{
+		Attrs: []Attribute{
+			{Name: "salary", Kind: Continuous},
+			{Name: "age", Kind: Continuous},
+			{Name: "elevel", Kind: Categorical, Values: []string{"none", "hs", "college", "grad"}},
+		},
+		Classes: []string{"A", "B"},
+	}
+}
+
+func TestSchemaValidateOK(t *testing.T) {
+	if err := twoClassSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Schema
+		want string
+	}{
+		{"no attrs", &Schema{Classes: []string{"A", "B"}}, "no attributes"},
+		{"one class", &Schema{Attrs: []Attribute{{Name: "x", Kind: Continuous}}, Classes: []string{"A"}}, "at least 2 classes"},
+		{"empty name", &Schema{Attrs: []Attribute{{Kind: Continuous}}, Classes: []string{"A", "B"}}, "empty name"},
+		{"dup name", &Schema{Attrs: []Attribute{{Name: "x", Kind: Continuous}, {Name: "x", Kind: Continuous}}, Classes: []string{"A", "B"}}, "duplicate"},
+		{"cont with domain", &Schema{Attrs: []Attribute{{Name: "x", Kind: Continuous, Values: []string{"a"}}}, Classes: []string{"A", "B"}}, "categorical domain"},
+		{"cat too small", &Schema{Attrs: []Attribute{{Name: "x", Kind: Categorical, Values: []string{"a"}}}, Classes: []string{"A", "B"}}, ">= 2 values"},
+		{"bad kind", &Schema{Attrs: []Attribute{{Name: "x", Kind: Kind(9)}}, Classes: []string{"A", "B"}}, "invalid kind"},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSchemaValidateTooManyCategories(t *testing.T) {
+	vals := make([]string, MaxCategories+1)
+	for i := range vals {
+		vals[i] = string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+	}
+	s := &Schema{
+		Attrs:   []Attribute{{Name: "x", Kind: Categorical, Values: vals}},
+		Classes: []string{"A", "B"},
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for oversized categorical domain")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := twoClassSchema()
+	if s.NumAttrs() != 3 || s.NumClasses() != 2 {
+		t.Fatalf("NumAttrs=%d NumClasses=%d", s.NumAttrs(), s.NumClasses())
+	}
+	if got := s.ContIndices(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ContIndices=%v", got)
+	}
+	if got := s.CatIndices(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CatIndices=%v", got)
+	}
+	if s.AttrIndex("age") != 1 || s.AttrIndex("zzz") != -1 {
+		t.Fatal("AttrIndex wrong")
+	}
+	if s.Attrs[2].Cardinality() != 4 {
+		t.Fatal("Cardinality wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Continuous.String() != "continuous" || Categorical.String() != "categorical" {
+		t.Fatal("Kind.String wrong")
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Fatal("unknown Kind.String should include the value")
+	}
+}
+
+func TestTableAppendAndAccess(t *testing.T) {
+	s := twoClassSchema()
+	tab := NewTable(s, 4)
+	rows := [][]float64{
+		{60000, 30, 2},
+		{20000, 55, 0},
+		{90000, 41, 3},
+	}
+	classes := []int{0, 1, 0}
+	for i, r := range rows {
+		if err := tab.AppendRow(r, classes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("NumRows=%d", tab.NumRows())
+	}
+	if tab.ContValue(0, 1) != 20000 || tab.ContValue(1, 2) != 41 {
+		t.Fatal("ContValue wrong")
+	}
+	if tab.CatValue(2, 0) != 2 {
+		t.Fatal("CatValue wrong")
+	}
+	if tab.Value(2, 2) != 3 || tab.Value(0, 0) != 60000 {
+		t.Fatal("Value wrong")
+	}
+	got := tab.Row(1)
+	for i, v := range rows[1] {
+		if got[i] != v {
+			t.Fatalf("Row(1)=%v", got)
+		}
+	}
+	h := tab.ClassHistogram()
+	if h[0] != 2 || h[1] != 1 {
+		t.Fatalf("histogram=%v", h)
+	}
+}
+
+func TestTableAppendRowErrors(t *testing.T) {
+	s := twoClassSchema()
+	tab := NewTable(s, 1)
+	if err := tab.AppendRow([]float64{1, 2}, 0); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := tab.AppendRow([]float64{1, 2, 0}, 5); err == nil {
+		t.Fatal("bad class accepted")
+	}
+	if err := tab.AppendRow([]float64{math.NaN(), 2, 0}, 0); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if err := tab.AppendRow([]float64{1, math.Inf(1), 0}, 0); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	if err := tab.AppendRow([]float64{1, 2, 4}, 0); err == nil {
+		t.Fatal("out-of-domain categorical accepted")
+	}
+	if err := tab.AppendRow([]float64{1, 2, 1.5}, 0); err == nil {
+		t.Fatal("non-integral categorical accepted")
+	}
+	if tab.NumRows() != 0 {
+		t.Fatal("failed appends must not partially mutate the table")
+	}
+}
+
+func TestTableSliceAndSplit(t *testing.T) {
+	s := twoClassSchema()
+	tab := NewTable(s, 10)
+	for i := 0; i < 10; i++ {
+		if err := tab.AppendRow([]float64{float64(i), float64(10 - i), float64(i % 4)}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sl := tab.Slice(3, 7)
+	if sl.NumRows() != 4 || sl.ContValue(0, 0) != 3 || sl.CatValue(2, 3) != 6%4 {
+		t.Fatalf("slice wrong: n=%d", sl.NumRows())
+	}
+	train, test := tab.Split(0.7)
+	if train.NumRows() != 7 || test.NumRows() != 3 {
+		t.Fatalf("split sizes %d/%d", train.NumRows(), test.NumRows())
+	}
+	if test.ContValue(0, 0) != 7 {
+		t.Fatal("test split should start at row 7")
+	}
+}
+
+func TestAppendTable(t *testing.T) {
+	s := twoClassSchema()
+	a := NewTable(s, 2)
+	b := NewTable(s, 2)
+	if err := a.AppendRow([]float64{1, 2, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow([]float64{3, 4, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendTable(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 2 || a.ContValue(0, 1) != 3 || a.CatValue(2, 1) != 1 || a.Class[1] != 1 {
+		t.Fatalf("append result wrong: %+v", a.Row(1))
+	}
+	other := NewTable(twoClassSchema(), 0) // same shape, different pointer
+	if err := a.AppendTable(other); err == nil {
+		t.Fatal("different schema instance accepted")
+	}
+}
+
+func TestTableSlicePanicsOutOfRange(t *testing.T) {
+	tab := NewTable(twoClassSchema(), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slice out of range did not panic")
+		}
+	}()
+	tab.Slice(0, 1)
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmallTable(t *testing.T) *Table {
+	t.Helper()
+	s := twoClassSchema()
+	tab := NewTable(s, 5)
+	rows := [][]float64{
+		{65, 30, 1},
+		{15, 23, 0},
+		{75, 40, 2},
+		{15, 28, 3},
+		{100, 55, 2},
+	}
+	classes := []int{0, 1, 0, 1, 0}
+	for i, r := range rows {
+		if err := tab.AppendRow(r, classes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestBuildListsAlignment(t *testing.T) {
+	tab := buildSmallTable(t)
+	l := BuildLists(tab, 100)
+	if l.NumRows() != 5 {
+		t.Fatalf("NumRows=%d", l.NumRows())
+	}
+	// Entries at position i across all lists must describe record 100+i.
+	for i := 0; i < 5; i++ {
+		if l.Cont[0][i].Rid != int32(100+i) || l.Cont[1][i].Rid != int32(100+i) || l.Cat[2][i].Rid != int32(100+i) {
+			t.Fatalf("rid misaligned at %d", i)
+		}
+		if l.Cont[0][i].Cid != tab.Class[i] || l.Cat[2][i].Cid != tab.Class[i] {
+			t.Fatalf("cid misaligned at %d", i)
+		}
+		if l.Cont[0][i].Val != tab.ContValue(0, i) || l.Cat[2][i].Val != tab.CatValue(2, i) {
+			t.Fatalf("value misaligned at %d", i)
+		}
+	}
+	// Kind-specific slots must be nil for the other kind.
+	if l.Cont[2] != nil || l.Cat[0] != nil || l.Cat[1] != nil {
+		t.Fatal("wrong-kind list slots should be nil")
+	}
+}
+
+func TestSortContinuousStableTies(t *testing.T) {
+	tab := buildSmallTable(t)
+	l := BuildLists(tab, 0)
+	l.SortContinuous()
+	sal := l.Cont[0]
+	for i := 1; i < len(sal); i++ {
+		if sal[i-1].Val > sal[i].Val {
+			t.Fatalf("salary not sorted at %d: %v > %v", i, sal[i-1].Val, sal[i].Val)
+		}
+		if sal[i-1].Val == sal[i].Val && sal[i-1].Rid > sal[i].Rid {
+			t.Fatalf("tie at %d not broken by rid", i)
+		}
+	}
+	// Two records share salary 15: rids 1 and 3 must appear in that order.
+	if sal[0].Val != 15 || sal[1].Val != 15 || sal[0].Rid != 1 || sal[1].Rid != 3 {
+		t.Fatalf("tie handling wrong: %+v %+v", sal[0], sal[1])
+	}
+	// Categorical lists stay in record order.
+	for i, e := range l.Cat[2] {
+		if e.Rid != int32(i) {
+			t.Fatal("categorical list must not be reordered")
+		}
+	}
+}
+
+func TestListsBytes(t *testing.T) {
+	tab := buildSmallTable(t)
+	l := BuildLists(tab, 0)
+	want := 5*2*ContEntrySize + 5*1*CatEntrySize
+	if got := l.Bytes(); got != want {
+		t.Fatalf("Bytes=%d want %d", got, want)
+	}
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	// The block ranges must tile [0,n) exactly, with sizes differing by at
+	// most one, for any (n, p).
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int(n16 % 1000)
+		p := int(p8%16) + 1
+		prev := 0
+		minSz, maxSz := 1<<30, 0
+		for r := 0; r < p; r++ {
+			lo, hi := BlockRange(n, p, r)
+			if lo != prev || hi < lo {
+				return false
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			prev = hi
+		}
+		return prev == n && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockOwnerMatchesBlockRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		p := 1 + rng.Intn(16)
+		for i := 0; i < n; i++ {
+			r := BlockOwner(n, p, i)
+			lo, hi := BlockRange(n, p, r)
+			if i < lo || i >= hi {
+				t.Fatalf("n=%d p=%d i=%d: owner %d has range [%d,%d)", n, p, i, r, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBlockRangePanics(t *testing.T) {
+	for _, c := range [][3]int{{10, 0, 0}, {10, 4, -1}, {10, 4, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BlockRange(%v) did not panic", c)
+				}
+			}()
+			BlockRange(c[0], c[1], c[2])
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BlockOwner out of range did not panic")
+		}
+	}()
+	BlockOwner(10, 2, 10)
+}
+
+func TestEntrySizesReasonable(t *testing.T) {
+	// The memory model depends on these; pin them so an accidental field
+	// addition is noticed.
+	if ContEntrySize != 16 {
+		t.Fatalf("ContEntrySize=%d, want 16", ContEntrySize)
+	}
+	if CatEntrySize != 12 {
+		t.Fatalf("CatEntrySize=%d, want 12", CatEntrySize)
+	}
+}

@@ -1,0 +1,217 @@
+package extmem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir(), 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestContRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	entries := []dataset.ContEntry{
+		{Val: 1.5, Rid: 0, Cid: 1},
+		{Val: -3.25, Rid: 100, Cid: 0},
+		{Val: math.MaxFloat64, Rid: 1 << 30, Cid: 255},
+		{Val: math.SmallestNonzeroFloat64, Rid: 3, Cid: 2},
+		{Val: 0, Rid: 4, Cid: 0},
+	}
+	if err := s.WriteCont("salary", entries); err != nil {
+		t.Fatal(err)
+	}
+	var got []dataset.ContEntry
+	if err := s.ScanCont("salary", func(e dataset.ContEntry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestCatRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	entries := []dataset.CatEntry{
+		{Val: 0, Rid: 5, Cid: 0},
+		{Val: 254, Rid: 9, Cid: 3},
+	}
+	if err := s.WriteCat("color", entries); err != nil {
+		t.Fatal(err)
+	}
+	var got []dataset.CatEntry
+	if err := s.ScanCat("color", func(e dataset.CatEntry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := newTestStore(t)
+	n := 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := make([]dataset.ContEntry, rng.Intn(500))
+		for i := range entries {
+			entries[i] = dataset.ContEntry{
+				Val: rng.NormFloat64() * 1e6,
+				Rid: rng.Int31(),
+				Cid: uint8(rng.Intn(256)),
+			}
+		}
+		name := fmt.Sprintf("l%d", n)
+		n++
+		if err := s.WriteCont(name, entries); err != nil {
+			return false
+		}
+		i := 0
+		ok := true
+		if err := s.ScanCont(name, func(e dataset.ContEntry) error {
+			if i >= len(entries) || e != entries[i] {
+				ok = false
+			}
+			i++
+			return nil
+		}); err != nil {
+			return false
+		}
+		return ok && i == len(entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := newTestStore(t)
+	entries := make([]dataset.ContEntry, 100)
+	if err := s.WriteCont("x", entries); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().BytesWritten != 100*contRecordSize {
+		t.Fatalf("written %d", s.Stats().BytesWritten)
+	}
+	for pass := 0; pass < 3; pass++ {
+		if err := s.ScanCont("x", func(dataset.ContEntry) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Scans != 3 || st.EntriesRead != 300 || st.BytesRead != 300*contRecordSize {
+		t.Fatalf("stats %+v", st)
+	}
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestScanAbortsOnCallbackError(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.WriteCont("x", make([]dataset.ContEntry, 10)); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err := s.ScanCont("x", func(dataset.ContEntry) error {
+		seen++
+		if seen == 3 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil || seen != 3 {
+		t.Fatalf("err=%v seen=%d", err, seen)
+	}
+}
+
+func TestMissingListErrors(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.ScanCont("missing", func(dataset.ContEntry) error { return nil }); err == nil {
+		t.Fatal("missing list scanned")
+	}
+	if err := s.Remove("missing"); err == nil {
+		t.Fatal("missing list removed")
+	}
+}
+
+func TestRemoveAndClose(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.WriteCat("c", []dataset.CatEntry{{Val: 1, Rid: 2, Cid: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScanCat("c", func(dataset.CatEntry) error { return nil }); err == nil {
+		t.Fatal("removed list scanned")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.WriteCont("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := s.ScanCont("empty", func(dataset.ContEntry) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("callback invoked for empty list")
+	}
+}
+
+func TestTinyBufferStillCorrect(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 1) // raised to the 4 KiB floor
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]dataset.ContEntry, 5000)
+	for i := range entries {
+		entries[i] = dataset.ContEntry{Val: float64(i), Rid: int32(i)}
+	}
+	if err := s.WriteCont("big", entries); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if err := s.ScanCont("big", func(e dataset.ContEntry) error {
+		if e.Rid != int32(i) {
+			t.Fatalf("entry %d has rid %d", i, e.Rid)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != 5000 {
+		t.Fatalf("scanned %d", i)
+	}
+}

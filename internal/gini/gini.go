@@ -1,0 +1,93 @@
+// Package gini computes the gini splitting index and the class-count
+// matrices that both the serial and the parallel classifiers optimize.
+//
+// For a partition i holding n_i records of which n_ij bear class j,
+// gini_i = 1 - Σ_j (n_ij/n_i)², and the gini of a d-way split of n records
+// is gini_split = Σ_i (n_i/n)·gini_i. The split-determining phase picks the
+// condition minimizing gini_split.
+package gini
+
+// Index returns the gini index of a class histogram: 1 - Σ (h_j/n)².
+// An empty histogram (n = 0) has index 0 by convention, so empty partitions
+// contribute nothing to a split's weighted index.
+func Index(h []int64) float64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	nf := float64(n)
+	for _, c := range h {
+		f := float64(c) / nf
+		sum += f * f
+	}
+	return 1 - sum
+}
+
+// SplitIndex returns the weighted gini index of a split into the given
+// partitions: Σ_i (n_i/n)·gini_i. A split with no records has index 0.
+func SplitIndex(parts ...[]int64) float64 {
+	var total int64
+	for _, p := range parts {
+		for _, c := range p {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range parts {
+		var n int64
+		for _, c := range p {
+			n += c
+		}
+		if n == 0 {
+			continue
+		}
+		sum += float64(n) / float64(total) * Index(p)
+	}
+	return sum
+}
+
+// Matrix is the count matrix of a continuous attribute's candidate binary
+// split: Below counts the classes of records with values at or before the
+// candidate point, Above the rest. A split-determining scan starts with
+// everything Above and calls Move once per entry as the candidate point
+// advances through the (sorted) list.
+type Matrix struct {
+	Below []int64
+	Above []int64
+}
+
+// NewMatrix creates a matrix with all counts in Above, initialised from the
+// node's total class histogram, minus alreadyBelow (the global class counts
+// preceding this scan's starting position — the parallel formulation seeds
+// this from an exclusive prefix scan; serial scans pass nil).
+func NewMatrix(total, alreadyBelow []int64) *Matrix {
+	m := &Matrix{
+		Below: make([]int64, len(total)),
+		Above: make([]int64, len(total)),
+	}
+	copy(m.Above, total)
+	for j := range alreadyBelow {
+		m.Below[j] = alreadyBelow[j]
+		m.Above[j] -= alreadyBelow[j]
+	}
+	return m
+}
+
+// Move transfers one record of the given class from Above to Below,
+// advancing the candidate split point past it.
+func (m *Matrix) Move(class uint8) {
+	m.Below[class]++
+	m.Above[class]--
+}
+
+// Split returns the gini index of the binary split at the current point.
+func (m *Matrix) Split() float64 {
+	return SplitIndex(m.Below, m.Above)
+}

@@ -1,0 +1,197 @@
+// Package nodetable implements ScalParC's central data structure: the
+// distributed node table, a hash table mapping global record ids to child
+// numbers, spread evenly over the processors and accessed through the
+// paper's parallel hashing paradigm (hash buffers + all-to-all personalized
+// communication for both construction and search).
+//
+// The hash function is the paper's collision-free
+//
+//	h(j) = (j div ⌈N/p⌉, j mod ⌈N/p⌉)
+//
+// so each processor owns a contiguous slab of ⌈N/p⌉ entries — O(N/p)
+// memory, the property that makes ScalParC memory-scalable where parallel
+// SPRINT's replicated table is not.
+package nodetable
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Assignment is one record-to-child mapping produced by the splitting
+// attribute's lists during PerformSplitI.
+type Assignment struct {
+	Rid   int32
+	Child uint8
+}
+
+// wireUpdate is the hash-buffer entry of the update protocol: the owner's
+// local slot index and the value to store.
+type wireUpdate struct {
+	Loc   int32
+	Child uint8
+}
+
+// Table is one rank's view of the distributed node table. All ranks must
+// construct it with the same n and call the collective methods together.
+type Table struct {
+	c     *comm.Comm
+	n     int
+	chunk int // slab size ⌈n/p⌉
+	block int // max updates sent per rank per round
+	lo    int // first global rid owned by this rank
+	child []uint8
+}
+
+// New allocates the table for n global records, charging the local slab to
+// the rank's memory meter. Updates are blocked at the paper's ⌈N/p⌉ per
+// rank per round.
+func New(c *comm.Comm, n int) *Table {
+	p := c.Size()
+	return NewWithBlock(c, n, (n+p-1)/p)
+}
+
+// NewWithBlock is New with an explicit update block size; block <= 0
+// disables blocking (every update travels in a single round — the
+// configuration the section 3.3.2 ablation measures against).
+func NewWithBlock(c *comm.Comm, n, block int) *Table {
+	if n <= 0 {
+		panic(fmt.Sprintf("nodetable: New with n=%d", n))
+	}
+	p := c.Size()
+	chunk := (n + p - 1) / p
+	if block <= 0 {
+		block = n // effectively one round
+	}
+	lo := c.Rank() * chunk
+	hi := lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	t := &Table{c: c, n: n, chunk: chunk, block: block, lo: lo, child: make([]uint8, max(0, hi-lo))}
+	c.Mem().Alloc(int64(len(t.child)))
+	return t
+}
+
+// Free releases the table's memory accounting.
+func (t *Table) Free() {
+	t.c.Mem().Free(int64(len(t.child)))
+	t.child = nil
+}
+
+// OwnedRange returns the global rid range [lo, hi) stored on this rank.
+func (t *Table) OwnedRange() (lo, hi int) { return t.lo, t.lo + len(t.child) }
+
+// owner returns the rank storing rid.
+func (t *Table) owner(rid int32) int { return int(rid) / t.chunk }
+
+// Update stores the assignments into the distributed table. The update
+// stream is sent in blocks of at most ⌈N/p⌉ entries per rank per round
+// (section 3.3.2: even when a pathologically skewed split makes one
+// processor the source of far more than N/p updates, no processor ever
+// buffers more than O(N/p) in flight, preserving memory scalability).
+// Collective: every rank must call it, even with no assignments.
+func (t *Table) Update(assignments []Assignment) {
+	p := t.c.Size()
+	model := t.c.Model()
+	t.c.Compute(model.HashTime(len(assignments)))
+
+	cursor := 0
+	for {
+		// Fill this round's hash buffers with the next `block`
+		// assignments — the in-flight wire buffers are the structure the
+		// blocking bounds at O(N/p), whatever the total update count.
+		take := len(assignments) - cursor
+		if take > t.block {
+			take = t.block
+		}
+		send := make([][]wireUpdate, p)
+		for _, a := range assignments[cursor : cursor+take] {
+			d := t.owner(a.Rid)
+			send[d] = append(send[d], wireUpdate{Loc: a.Rid - int32(d*t.chunk), Child: a.Child})
+		}
+		cursor += take
+		remaining := int64(len(assignments) - cursor)
+
+		sendBytes := int64(take) * int64(wireUpdateSize)
+		t.c.Mem().Alloc(sendBytes)
+		recv := comm.AllToAll(t.c, send)
+		recvCount := 0
+		for _, part := range recv {
+			recvCount += len(part)
+		}
+		recvBytes := int64(recvCount) * int64(wireUpdateSize)
+		t.c.Mem().Alloc(recvBytes)
+		for _, part := range recv {
+			for _, u := range part {
+				t.child[u.Loc] = u.Child
+			}
+		}
+		t.c.Compute(model.HashTime(recvCount))
+		t.c.Mem().Free(sendBytes + recvBytes)
+
+		if comm.AllReduceSum(t.c, []int64{remaining})[0] == 0 {
+			break
+		}
+	}
+}
+
+// Lookup answers the child numbers for the given rids, in input order —
+// the enquiry protocol: enquiry buffers with local indices travel to the
+// owners in one all-to-all step, the owners fill intermediate value
+// buffers, and a second all-to-all returns the results. Collective: every
+// rank must call it, even with no rids.
+func (t *Table) Lookup(rids []int32) []uint8 {
+	p := t.c.Size()
+	model := t.c.Model()
+
+	// Enquiry buffers of local indices, bucketed by owner.
+	enq := make([][]int32, p)
+	for _, rid := range rids {
+		d := t.owner(rid)
+		enq[d] = append(enq[d], rid-int32(d*t.chunk))
+	}
+	bufBytes := int64(len(rids)) * 4
+	t.c.Mem().Alloc(bufBytes)
+	t.c.Compute(model.HashTime(len(rids)))
+
+	indexBufs := comm.AllToAll(t.c, enq)
+
+	// Fill the intermediate value buffers.
+	vals := make([][]uint8, p)
+	looked := 0
+	for src, idxs := range indexBufs {
+		if len(idxs) == 0 {
+			continue
+		}
+		out := make([]uint8, len(idxs))
+		for i, loc := range idxs {
+			out[i] = t.child[loc]
+		}
+		vals[src] = out
+		looked += len(idxs)
+	}
+	t.c.Compute(model.HashTime(looked))
+
+	results := comm.AllToAll(t.c, vals)
+
+	// Reassemble in input order: per-owner responses arrive in the order
+	// the enquiries were issued.
+	cursors := make([]int, p)
+	out := make([]uint8, len(rids))
+	for i, rid := range rids {
+		d := t.owner(rid)
+		out[i] = results[d][cursors[d]]
+		cursors[d]++
+	}
+	t.c.Compute(model.HashTime(len(rids)))
+	t.c.Mem().Free(bufBytes)
+	return out
+}
+
+// wireUpdateSize is the wire size of one update entry.
+const wireUpdateSize = 8 // int32 + uint8, padded

@@ -1,0 +1,172 @@
+// Package psort implements the Presort phase: a scalable parallel sample
+// sort of distributed continuous attribute lists, followed by the parallel
+// shift that rebalances the sorted list so every processor again owns an
+// equal contiguous block (the load-balanced initial distribution the rest
+// of the induction relies on).
+//
+// The total order is (value, record id): ties broken by record id make the
+// global order — and therefore every downstream split decision — fully
+// deterministic and independent of the processor count.
+package psort
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/dataset"
+)
+
+// less is the total order on entries.
+func less(a, b dataset.ContEntry) bool {
+	if a.Val != b.Val {
+		return a.Val < b.Val
+	}
+	return a.Rid < b.Rid
+}
+
+// Sort globally sorts the distributed list and rebalances it: afterwards
+// rank r holds exactly positions BlockRange(N, p, r) of the sorted order.
+// Every rank must call it (it communicates). The local input is consumed.
+func Sort(c *comm.Comm, local []dataset.ContEntry) []dataset.ContEntry {
+	p := c.Size()
+	model := c.Model()
+
+	// Step 1: local sort.
+	c.Compute(model.SortTime(len(local)))
+	sort.Slice(local, func(i, j int) bool { return less(local[i], local[j]) })
+
+	if p == 1 {
+		return local
+	}
+
+	// Step 2: regular sampling — p-1 local samples at even intervals
+	// (fewer only when the fragment itself is smaller). Full coverage of
+	// every local quantile is essential: sampling fewer positions
+	// concentrates the pool near each fragment's interior quantiles and
+	// collapses the splitters onto the global median.
+	s := p - 1
+	if len(local) < s {
+		s = len(local)
+	}
+	samples := make([]dataset.ContEntry, 0, s)
+	for i := 1; i <= s; i++ {
+		idx := i * len(local) / (s + 1)
+		if idx < len(local) {
+			samples = append(samples, local[idx])
+		}
+	}
+
+	// Step 3: gather all samples everywhere and derive p-1 splitters.
+	// The sample pool is O(p²) entries per rank — one of the structures
+	// whose growth with p bends the memory and runtime curves at large p.
+	// Each rank's contribution arrives sorted, so ordering the pool is a
+	// p-way merge (n·log2 p comparisons), not a full sort.
+	pool := comm.AllgatherFlat(c, samples)
+	c.Mem().Alloc(int64(len(pool)) * dataset.ContEntrySize)
+	c.Compute(float64(len(pool)) * logish(p) / model.SortRate)
+	sort.Slice(pool, func(i, j int) bool { return less(pool[i], pool[j]) })
+	splitters := make([]dataset.ContEntry, 0, p-1)
+	for i := 1; i < p; i++ {
+		idx := i * len(pool) / p
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		if len(pool) > 0 {
+			splitters = append(splitters, pool[idx])
+		}
+	}
+	c.Mem().Free(int64(len(pool)) * dataset.ContEntrySize)
+
+	// Step 4: partition the sorted local list by the splitters and
+	// exchange: destination d receives entries in (splitter[d-1],
+	// splitter[d]].
+	send := make([][]dataset.ContEntry, p)
+	start := 0
+	for d := 0; d < p; d++ {
+		end := len(local)
+		if d < len(splitters) {
+			s := splitters[d]
+			end = sort.Search(len(local), func(i int) bool { return less(s, local[i]) })
+		}
+		if end < start {
+			end = start
+		}
+		send[d] = local[start:end]
+		start = end
+	}
+	recv := comm.AllToAll(c, send)
+
+	// Step 5: merge the p sorted runs. The runs arrive in rank order and
+	// each is sorted, so a final sort acts as the multiway merge; charge
+	// merge cost (n·log2 p comparisons).
+	total := 0
+	for _, r := range recv {
+		total += len(r)
+	}
+	merged := make([]dataset.ContEntry, 0, total)
+	for _, r := range recv {
+		merged = append(merged, r...)
+	}
+	c.Mem().Alloc(int64(total) * dataset.ContEntrySize)
+	c.Compute(float64(total) * logish(p) / model.SortRate) // n·log2(p) merge comparisons
+	sort.Slice(merged, func(i, j int) bool { return less(merged[i], merged[j]) })
+	out := Rebalance(c, merged)
+	c.Mem().Free(int64(total) * dataset.ContEntrySize)
+	return out
+}
+
+// logish returns ceil(log2(n)) for n >= 1 (1 for n <= 2).
+func logish(n int) float64 {
+	l := 1
+	for v := 2; v < n; v *= 2 {
+		l++
+	}
+	return float64(l)
+}
+
+// Rebalance is the parallel shift: given a globally ordered distributed
+// list with arbitrary per-rank counts, it redistributes entries so rank r
+// holds exactly the positions BlockRange(N, p, r) of the global order,
+// preserving order. Every rank must call it.
+func Rebalance(c *comm.Comm, local []dataset.ContEntry) []dataset.ContEntry {
+	p := c.Size()
+	if p == 1 {
+		return local
+	}
+	counts := comm.AllgatherFlat(c, []int64{int64(len(local))})
+	var myStart, n int64
+	for r, cnt := range counts {
+		if r < c.Rank() {
+			myStart += cnt
+		}
+		n += cnt
+	}
+	if n == 0 {
+		return local[:0]
+	}
+
+	send := make([][]dataset.ContEntry, p)
+	i := 0
+	for i < len(local) {
+		pos := int(myStart) + i
+		owner := dataset.BlockOwner(int(n), p, pos)
+		_, hi := dataset.BlockRange(int(n), p, owner)
+		end := i + (hi - pos)
+		if end > len(local) {
+			end = len(local)
+		}
+		send[owner] = local[i:end]
+		i = end
+	}
+	recv := comm.AllToAll(c, send)
+	total := 0
+	for _, r := range recv {
+		total += len(r)
+	}
+	out := make([]dataset.ContEntry, 0, total)
+	for _, r := range recv { // rank order preserves the global order
+		out = append(out, r...)
+	}
+	c.Compute(c.Model().SplitTime(total))
+	return out
+}

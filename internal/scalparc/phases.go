@@ -1,0 +1,481 @@
+package scalparc
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dataset"
+	"repro/internal/gini"
+	"repro/internal/nodetable"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+// boundary carries a segment's first value across ranks so the gini scan
+// can tell whether its last local entry is a valid split point (a candidate
+// "A <= v" is only valid where the next global value differs from v).
+type boundary struct {
+	Has uint8
+	Val float64
+}
+
+// findSplits returns the globally agreed winning candidate for every
+// need-split node (splitIdx maps active-node index to need-split index,
+// -1 if terminated). In the default per-level mode all nodes share one
+// batch of collectives; in the per-node ablation mode (§3.1) each node
+// runs its own.
+func (wk *worker) findSplits(splitIdx []int, nNeed int) []splitter.Candidate {
+	if nNeed == 0 {
+		return nil
+	}
+	if !wk.perNode {
+		return wk.findSplitsBatch(splitIdx, nNeed)
+	}
+	cands := make([]splitter.Candidate, nNeed)
+	for i := range wk.active {
+		if splitIdx[i] < 0 {
+			continue
+		}
+		one := make([]int, len(wk.active))
+		for j := range one {
+			one[j] = -1
+		}
+		one[i] = 0
+		cands[splitIdx[i]] = wk.findSplitsBatch(one, 1)[0]
+	}
+	return cands
+}
+
+// findSplitsBatch runs FindSplitI and the candidate half of FindSplitII
+// for one batch of need-split nodes.
+func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidate {
+	contAttrs := wk.schema.ContIndices()
+	catAttrs := wk.schema.CatIndices()
+	nc := wk.schema.NumClasses()
+	model := wk.c.Model()
+
+	best := make([]splitter.Candidate, nNeed) // zero value is Invalid
+
+	// --- Continuous attributes ---
+	if len(contAttrs) > 0 {
+		// FindSplitI: local class counts per (node, attribute); one
+		// exclusive prefix scan turns them into each rank's global
+		// starting count matrix. Segment-first values travel alongside so
+		// scans can validate their final candidate across rank borders.
+		counts := make([]int64, nNeed*len(contAttrs)*nc)
+		bounds := make([]boundary, nNeed*len(contAttrs))
+		scanned := 0
+		for i := range wk.active {
+			i2 := splitIdx[i]
+			if i2 < 0 {
+				continue
+			}
+			for k, a := range contAttrs {
+				sg := wk.segs[a][i]
+				base := (i2*len(contAttrs) + k) * nc
+				for _, e := range wk.cont[a][sg.off : sg.off+sg.n] {
+					counts[base+int(e.Cid)]++
+				}
+				scanned += sg.n
+				if sg.n > 0 {
+					bounds[i2*len(contAttrs)+k] = boundary{Has: 1, Val: wk.cont[a][sg.off].Val}
+				}
+			}
+		}
+		wk.c.Compute(model.ScanTime(scanned))
+		transient := int64(len(counts))*8 + int64(len(bounds))*16*2
+		wk.c.Mem().Alloc(transient)
+		prefix := comm.ExScanSum(wk.c, counts)
+		// The first value after each of my segments: fold "first
+		// non-empty" over the ranks to my right.
+		nextBounds := comm.ReverseExScan(wk.c, bounds, func(a, b boundary) boundary {
+			if a.Has == 1 {
+				return a
+			}
+			return b
+		}, boundary{})
+
+		// FindSplitII: linear gini scan of every local segment.
+		for i := range wk.active {
+			i2 := splitIdx[i]
+			if i2 < 0 {
+				continue
+			}
+			for k, a := range contAttrs {
+				sg := wk.segs[a][i]
+				if sg.n == 0 {
+					continue
+				}
+				base := (i2*len(contAttrs) + k) * nc
+				m := gini.NewMatrix(wk.active[i].hist, prefix[base:base+nc])
+				list := wk.cont[a][sg.off : sg.off+sg.n]
+				nb := nextBounds[i2*len(contAttrs)+k]
+				nextVal, hasNext := nb.Val, nb.Has == 1
+				for j, e := range list {
+					m.Move(e.Cid)
+					nv, ok := nextVal, hasNext
+					if j+1 < len(list) {
+						nv, ok = list[j+1].Val, true
+					}
+					if !ok || nv == e.Val {
+						continue
+					}
+					cand := splitter.Candidate{
+						Valid:     true,
+						Gini:      m.Split(),
+						Attr:      int32(a),
+						Kind:      splitter.ContSplit,
+						Threshold: e.Val,
+					}
+					best[i2] = splitter.Best(best[i2], cand)
+				}
+			}
+		}
+		wk.c.Compute(model.ScanTime(scanned))
+		wk.c.Mem().Free(transient)
+	}
+
+	// --- Categorical attributes: count matrices reduced onto a
+	// designated coordinator per attribute, which evaluates the splits.
+	for _, a := range catAttrs {
+		card := wk.schema.Attrs[a].Cardinality()
+		vec := make([]int64, nNeed*card*nc)
+		counted := 0
+		for i := range wk.active {
+			i2 := splitIdx[i]
+			if i2 < 0 {
+				continue
+			}
+			sg := wk.segs[a][i]
+			base := i2 * card * nc
+			for _, e := range wk.cat[a][sg.off : sg.off+sg.n] {
+				vec[base+int(e.Val)*nc+int(e.Cid)]++
+			}
+			counted += sg.n
+		}
+		wk.c.Compute(model.ScanTime(counted))
+		wk.c.Mem().Alloc(int64(len(vec)) * 8)
+		root := a % wk.c.Size()
+		red := comm.ReduceSum(wk.c, root, vec)
+		if wk.c.Rank() == root {
+			for i2 := 0; i2 < nNeed; i2++ {
+				m := splitter.FromFlat(red[i2*card*nc:(i2+1)*card*nc], card, nc)
+				cand := splitter.BestCategorical(m, a, wk.cfg.CategoricalBinary)
+				best[i2] = splitter.Best(best[i2], cand)
+			}
+		}
+		wk.c.Mem().Free(int64(len(vec)) * 8)
+	}
+
+	// FindSplitII's closing step: the overall best split per node via a
+	// global reduction with the deterministic candidate order.
+	return comm.AllReduce(wk.c, best, splitter.Best)
+}
+
+// performSplitI walks every splitting attribute's local segments: assigns
+// each record its child number, sends the assignments into the record map
+// (blocked all-to-all rounds inside), and reduces the global per-child
+// class histograms. It returns the per-node child array for the splitting
+// attribute's local segment (reused by performSplitII) and the global
+// child histograms. The per-node ablation mode runs one record-map update
+// and one reduction per node instead of one per level.
+func (wk *worker) performSplitI(doSplit []bool, splitIdx []int, cands []splitter.Candidate) ([][]uint8, [][][]int64) {
+	if !wk.perNode {
+		return wk.performSplitIBatch(doSplit, splitIdx, cands)
+	}
+	splitChild := make([][]uint8, len(wk.active))
+	childHists := make([][][]int64, len(wk.active))
+	mask := make([]bool, len(wk.active))
+	for i := range wk.active {
+		if !doSplit[i] {
+			continue
+		}
+		mask[i] = true
+		sc, ch := wk.performSplitIBatch(mask, splitIdx, cands)
+		mask[i] = false
+		splitChild[i] = sc[i]
+		childHists[i] = ch[i]
+	}
+	return splitChild, childHists
+}
+
+func (wk *worker) performSplitIBatch(doSplit []bool, splitIdx []int, cands []splitter.Candidate) ([][]uint8, [][][]int64) {
+	nc := wk.schema.NumClasses()
+	model := wk.c.Model()
+
+	offsets := make([]int, len(wk.active))
+	total := 0
+	for i := range wk.active {
+		offsets[i] = -1
+		if doSplit[i] {
+			offsets[i] = total
+			total += wk.childCount(cands[splitIdx[i]]) * nc
+		}
+	}
+
+	vec := make([]int64, total)
+	splitChild := make([][]uint8, len(wk.active))
+	var assigns []nodetable.Assignment
+	work := 0
+	for i := range wk.active {
+		if !doSplit[i] {
+			continue
+		}
+		cand := cands[splitIdx[i]]
+		a := int(cand.Attr)
+		sg := wk.segs[a][i]
+		childs := make([]uint8, sg.n)
+		if wk.schema.Attrs[a].Kind == dataset.Continuous {
+			for j, e := range wk.cont[a][sg.off : sg.off+sg.n] {
+				ch := childOfCont(cand, e.Val)
+				childs[j] = ch
+				vec[offsets[i]+int(ch)*nc+int(e.Cid)]++
+				assigns = append(assigns, nodetable.Assignment{Rid: e.Rid, Child: ch})
+			}
+		} else {
+			for j, e := range wk.cat[a][sg.off : sg.off+sg.n] {
+				ch := childOfCat(cand, e.Val)
+				childs[j] = ch
+				vec[offsets[i]+int(ch)*nc+int(e.Cid)]++
+				assigns = append(assigns, nodetable.Assignment{Rid: e.Rid, Child: ch})
+			}
+		}
+		splitChild[i] = childs
+		work += sg.n
+	}
+	wk.c.Compute(model.SplitTime(work))
+
+	// Assignment buffer (8 bytes each) plus the per-entry child arrays
+	// (1 byte each, alive until phase II consumes them).
+	wk.c.Mem().Alloc(int64(work) * 9)
+	wk.rm.Update(assigns)
+	wk.c.Mem().Free(int64(work) * 8) // assignments delivered
+
+	var global []int64
+	if total > 0 {
+		wk.c.Mem().Alloc(int64(total) * 8)
+		global = comm.AllReduceSum(wk.c, vec)
+		wk.c.Mem().Free(int64(total) * 8)
+	}
+
+	childHists := make([][][]int64, len(wk.active))
+	for i := range wk.active {
+		if !doSplit[i] {
+			continue
+		}
+		d := wk.childCount(cands[splitIdx[i]])
+		childHists[i] = make([][]int64, d)
+		for k := 0; k < d; k++ {
+			childHists[i][k] = global[offsets[i]+k*nc : offsets[i]+(k+1)*nc]
+		}
+	}
+	return splitChild, childHists
+}
+
+// buildChildren materialises the next level's tree nodes and active set,
+// identically on every rank. It returns the new active set and, per old
+// node and child number, the index into the new active set (-1 for empty
+// children, which become leaves immediately).
+func (wk *worker) buildChildren(doSplit []bool, splitIdx []int, childHists [][][]int64) ([]*nodeState, [][]int) {
+	var next []*nodeState
+	childIndex := make([][]int, len(wk.active))
+	for i, ns := range wk.active {
+		if !doSplit[i] {
+			continue
+		}
+		hists := childHists[i]
+		ns.node.Children = make([]*tree.Node, len(hists))
+		childIndex[i] = make([]int, len(hists))
+		parentMajority := tree.Majority(ns.hist)
+		for k, hist := range hists {
+			child := &tree.Node{Hist: hist}
+			ns.node.Children[k] = child
+			var size int64
+			for _, c := range hist {
+				size += c
+			}
+			if size == 0 {
+				child.Leaf = true
+				child.Label = parentMajority
+				childIndex[i][k] = -1
+				continue
+			}
+			childIndex[i][k] = len(next)
+			next = append(next, &nodeState{node: child, hist: hist, depth: ns.depth + 1})
+		}
+	}
+	return next, childIndex
+}
+
+// performSplitII splits every attribute list consistently with the level's
+// decisions: splitting attributes reuse the child assignments from phase I;
+// all other attributes enquire the record map, one attribute at a time.
+func (wk *worker) performSplitII(doSplit []bool, splitIdx []int, cands []splitter.Candidate,
+	splitChild [][]uint8, next []*nodeState, childIndex [][]int) {
+
+	model := wk.c.Model()
+
+	// The tech-report optimization: gather every attribute's enquiry rids
+	// up front and resolve them in one round, trading n_a-times larger
+	// buffers for 2·(n_a - 2) fewer all-to-all steps per level.
+	var batchedAnswers []uint8
+	var batchedOffsets []int
+	if wk.batched {
+		var all []int32
+		batchedOffsets = make([]int, wk.schema.NumAttrs()+1)
+		for a := range wk.schema.Attrs {
+			batchedOffsets[a] = len(all)
+			all = wk.collectEnquiryRids(a, doSplit, splitIdx, cands, all)
+		}
+		batchedOffsets[wk.schema.NumAttrs()] = len(all)
+		batchedAnswers = wk.rm.Lookup(all)
+	}
+
+	for a := range wk.schema.Attrs {
+		isCont := wk.schema.Attrs[a].Kind == dataset.Continuous
+
+		// Enquiry pass: rids of every segment that needs child numbers
+		// from the record map, in node order. Per-level mode batches the
+		// whole attribute into one enquiry; the per-node ablation runs a
+		// separate enquiry per node.
+		ridsByNode := make([][]int32, len(wk.active))
+		for i := range wk.active {
+			if !doSplit[i] || int(cands[splitIdx[i]].Attr) == a {
+				continue
+			}
+			sg := wk.segs[a][i]
+			rids := make([]int32, 0, sg.n)
+			if isCont {
+				for _, e := range wk.cont[a][sg.off : sg.off+sg.n] {
+					rids = append(rids, e.Rid)
+				}
+			} else {
+				for _, e := range wk.cat[a][sg.off : sg.off+sg.n] {
+					rids = append(rids, e.Rid)
+				}
+			}
+			ridsByNode[i] = rids
+		}
+		var answers []uint8
+		switch {
+		case wk.batched:
+			answers = batchedAnswers[batchedOffsets[a]:batchedOffsets[a+1]]
+		case wk.perNode:
+			for i := range wk.active {
+				if doSplit[i] && int(cands[splitIdx[i]].Attr) != a {
+					answers = append(answers, wk.rm.Lookup(ridsByNode[i])...)
+				}
+			}
+		default:
+			var rids []int32
+			for _, r := range ridsByNode {
+				rids = append(rids, r...)
+			}
+			answers = wk.rm.Lookup(rids)
+		}
+
+		// Partition pass: rebuild the attribute's backing with the next
+		// level's segments (dropping records retired into leaves).
+		newSegs := make([]seg, len(next))
+		cursor := 0
+		var newCont []dataset.ContEntry
+		var newCat []dataset.CatEntry
+		oldBytes := int64(len(wk.cont[a]))*dataset.ContEntrySize + int64(len(wk.cat[a]))*dataset.CatEntrySize
+		work := 0
+		for i := range wk.active {
+			if !doSplit[i] {
+				continue
+			}
+			cand := cands[splitIdx[i]]
+			d := wk.childCount(cand)
+			sg := wk.segs[a][i]
+			var childs []uint8
+			if int(cand.Attr) == a {
+				childs = splitChild[i]
+			} else {
+				childs = answers[cursor : cursor+sg.n]
+				cursor += sg.n
+			}
+			work += sg.n
+			if isCont {
+				buckets := partitionSeg(wk.cont[a][sg.off:sg.off+sg.n], childs, d)
+				for k := 0; k < d; k++ {
+					ni := childIndex[i][k]
+					if ni < 0 {
+						if len(buckets[k]) != 0 {
+							panic(fmt.Sprintf("scalparc: %d local entries in globally empty child", len(buckets[k])))
+						}
+						continue
+					}
+					newSegs[ni] = seg{off: len(newCont), n: len(buckets[k])}
+					newCont = append(newCont, buckets[k]...)
+				}
+			} else {
+				buckets := partitionSeg(wk.cat[a][sg.off:sg.off+sg.n], childs, d)
+				for k := 0; k < d; k++ {
+					ni := childIndex[i][k]
+					if ni < 0 {
+						if len(buckets[k]) != 0 {
+							panic(fmt.Sprintf("scalparc: %d local entries in globally empty child", len(buckets[k])))
+						}
+						continue
+					}
+					newSegs[ni] = seg{off: len(newCat), n: len(buckets[k])}
+					newCat = append(newCat, buckets[k]...)
+				}
+			}
+		}
+		wk.c.Compute(model.SplitTime(work))
+
+		newBytes := int64(len(newCont))*dataset.ContEntrySize + int64(len(newCat))*dataset.CatEntrySize
+		wk.c.Mem().Alloc(newBytes) // double-buffer peak while both exist
+		if isCont {
+			wk.cont[a] = newCont
+		} else {
+			wk.cat[a] = newCat
+		}
+		wk.segs[a] = newSegs
+		wk.c.Mem().Free(oldBytes)
+		wk.listBytes += newBytes - oldBytes
+	}
+
+	// The phase-I child arrays (1 byte per entry) are no longer needed.
+	var childBytes int64
+	for _, cs := range splitChild {
+		childBytes += int64(len(cs))
+	}
+	wk.c.Mem().Free(childBytes)
+}
+
+// collectEnquiryRids appends the rids of attribute a's segments that need
+// record-map answers (segments of split nodes not splitting on a), in node
+// order — the same order the partition pass consumes answers in.
+func (wk *worker) collectEnquiryRids(a int, doSplit []bool, splitIdx []int, cands []splitter.Candidate, out []int32) []int32 {
+	isCont := wk.schema.Attrs[a].Kind == dataset.Continuous
+	for i := range wk.active {
+		if !doSplit[i] || int(cands[splitIdx[i]].Attr) == a {
+			continue
+		}
+		sg := wk.segs[a][i]
+		if isCont {
+			for _, e := range wk.cont[a][sg.off : sg.off+sg.n] {
+				out = append(out, e.Rid)
+			}
+		} else {
+			for _, e := range wk.cat[a][sg.off : sg.off+sg.n] {
+				out = append(out, e.Rid)
+			}
+		}
+	}
+	return out
+}
+
+// partitionSeg stably distributes a segment's entries into d child buckets.
+func partitionSeg[E any](list []E, childs []uint8, d int) [][]E {
+	buckets := make([][]E, d)
+	for j, e := range list {
+		k := childs[j]
+		buckets[k] = append(buckets[k], e)
+	}
+	return buckets
+}

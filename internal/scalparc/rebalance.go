@@ -1,0 +1,133 @@
+package scalparc
+
+import (
+	"repro/internal/comm"
+	"repro/internal/dataset"
+)
+
+// rebalanceLists redistributes every active node's list segments so each
+// rank again holds an equal contiguous share of every node's list,
+// preserving global order (so continuous lists stay sorted).
+//
+// The paper deliberately does NOT do this: "we assume that the initial
+// assignment of data to the processors remains unchanged throughout the
+// process of classification", accepting per-node imbalance because
+// per-level batching sums the imbalances out unless the attributes are
+// pathologically correlated. This optional pass is the other side of that
+// trade: perfect balance every level, paid for with one all-to-all per
+// attribute per level. The induced tree is unchanged.
+func (wk *worker) rebalanceLists() {
+	p := wk.c.Size()
+	if p == 1 || len(wk.active) == 0 {
+		return
+	}
+	model := wk.c.Model()
+	for a, attr := range wk.schema.Attrs {
+		// Everyone learns every rank's per-node segment lengths.
+		lens := make([]int64, len(wk.active))
+		for i, sg := range wk.segs[a] {
+			lens[i] = int64(sg.n)
+		}
+		byRank := comm.Allgather(wk.c, lens)
+
+		if attr.Kind == dataset.Continuous {
+			newList, newSegs, moved := rebalanceAttr(wk.c, wk.cont[a], wk.segs[a], byRank)
+			delta := (int64(len(newList)) - int64(len(wk.cont[a]))) * dataset.ContEntrySize
+			wk.cont[a], wk.segs[a] = newList, newSegs
+			wk.c.Mem().Adjust(delta)
+			wk.listBytes += delta
+			wk.c.Compute(model.SplitTime(moved))
+		} else {
+			newList, newSegs, moved := rebalanceAttr(wk.c, wk.cat[a], wk.segs[a], byRank)
+			delta := (int64(len(newList)) - int64(len(wk.cat[a]))) * dataset.CatEntrySize
+			wk.cat[a], wk.segs[a] = newList, newSegs
+			wk.c.Mem().Adjust(delta)
+			wk.listBytes += delta
+			wk.c.Compute(model.SplitTime(moved))
+		}
+	}
+}
+
+// rebalanceAttr redistributes one attribute's segments. byRank[r][i] is
+// rank r's current segment length for node i. It returns the new backing,
+// the new segments (one per active node, same order), and how many
+// entries moved through this rank (for cost accounting).
+func rebalanceAttr[E any](c *comm.Comm, list []E, segs []seg, byRank [][]int64) ([]E, []seg, int) {
+	p := c.Size()
+	me := c.Rank()
+	nNodes := len(segs)
+
+	// Global prefix and total of every node's list.
+	prefix := make([]int64, nNodes) // entries of node i on ranks < me
+	totals := make([]int64, nNodes)
+	for r := 0; r < p; r++ {
+		for i := 0; i < nNodes; i++ {
+			if r < me {
+				prefix[i] += byRank[r][i]
+			}
+			totals[i] += byRank[r][i]
+		}
+	}
+
+	// Route each of my segments to the block owners of its global
+	// positions (contiguous chunks, exactly like the presort's shift).
+	send := make([][]E, p)
+	for i, sg := range segs {
+		local := list[sg.off : sg.off+sg.n]
+		j := 0
+		for j < len(local) {
+			pos := int(prefix[i]) + j
+			owner := dataset.BlockOwner(int(totals[i]), p, pos)
+			_, hi := dataset.BlockRange(int(totals[i]), p, owner)
+			end := j + (hi - pos)
+			if end > len(local) {
+				end = len(local)
+			}
+			send[owner] = append(send[owner], local[j:end]...)
+			j = end
+		}
+	}
+	recv := comm.AllToAll(c, send)
+
+	// Reassemble: my share of node i is BlockRange(totals[i], p, me);
+	// within it, source ranks contribute their overlaps in rank order
+	// (which is global order). Each source's buffer is itself ordered by
+	// (node, position), so per-source cursors suffice.
+	cursors := make([]int, p)
+	var newList []E
+	newSegs := make([]seg, nNodes)
+	moved := 0
+	for i := 0; i < nNodes; i++ {
+		lo, hi := dataset.BlockRange(int(totals[i]), p, me)
+		start := len(newList)
+		srcPrefix := int64(0)
+		for r := 0; r < p; r++ {
+			srcLo, srcHi := srcPrefix, srcPrefix+byRank[r][i]
+			srcPrefix = srcHi
+			ovLo, ovHi := max64(srcLo, int64(lo)), min64(srcHi, int64(hi))
+			if ovHi <= ovLo {
+				continue
+			}
+			n := int(ovHi - ovLo)
+			newList = append(newList, recv[r][cursors[r]:cursors[r]+n]...)
+			cursors[r] += n
+			moved += n
+		}
+		newSegs[i] = seg{off: start, n: len(newList) - start}
+	}
+	return newList, newSegs, moved
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

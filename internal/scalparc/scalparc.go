@@ -1,0 +1,444 @@
+// Package scalparc implements the paper's primary contribution: ScalParC,
+// the scalable parallel decision-tree classifier.
+//
+// The training set is fragmented vertically into attribute lists and
+// horizontally into p equal blocks. Continuous lists are sorted exactly
+// once (parallel sample sort + shift). Induction then proceeds level by
+// level with the paper's four phases:
+//
+//	FindSplitI     — count matrices: a parallel exclusive prefix scan for
+//	                 continuous attributes, reductions onto coordinator
+//	                 processors for categorical ones.
+//	FindSplitII    — termination tests, local gini scans over every
+//	                 candidate split point, and a global reduction that
+//	                 picks the winning split per node.
+//	PerformSplitI  — the splitting attribute's lists assign every record a
+//	                 child number, which is written into the distributed
+//	                 node table via the parallel hashing paradigm in blocks
+//	                 of at most ⌈N/p⌉ updates per round.
+//	PerformSplitII — every other attribute list is split consistently by
+//	                 enquiring the node table, one attribute at a time.
+//
+// All split decisions are pure functions of globally reduced integer
+// counts with deterministic tie-breaking, so the induced tree is identical
+// to the serial classifier's for every processor count.
+//
+// The splitting-phase record-to-child mapping is pluggable through the
+// RecordMap interface: the default is the distributed node table (O(N/p)
+// memory and communication per processor); package sprint substitutes the
+// replicated hash table of parallel SPRINT (O(N) in both) for the paper's
+// section 3.2 comparison.
+package scalparc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dataset"
+	"repro/internal/gini"
+	"repro/internal/nodetable"
+	"repro/internal/psort"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+// RecordMap is the record-id to child-number mapping used by the splitting
+// phase. Both methods are collectives: every rank calls them once per use,
+// possibly with empty arguments.
+type RecordMap interface {
+	// Update stores this level's assignments.
+	Update(assignments []nodetable.Assignment)
+	// Lookup answers child numbers for rids, in input order.
+	Lookup(rids []int32) []uint8
+	// Free releases the map's memory accounting.
+	Free()
+}
+
+// RecordMapFactory builds a rank's RecordMap for n global records.
+type RecordMapFactory func(c *comm.Comm, n int) RecordMap
+
+// DistributedNodeTable is the default factory: the paper's distributed
+// node table.
+func DistributedNodeTable(c *comm.Comm, n int) RecordMap {
+	return nodetable.New(c, n)
+}
+
+// LevelStats describes one level of the induction — the granularity at
+// which the paper analyses runtime and communication.
+type LevelStats struct {
+	// ActiveNodes and SplitNodes count the level's nodes and how many of
+	// them split (the rest became leaves).
+	ActiveNodes, SplitNodes int
+	// Records is the number of training records still in play.
+	Records int64
+	// ModeledSeconds is the level's share of the modeled runtime.
+	ModeledSeconds float64
+}
+
+// Result is the outcome of a parallel training run.
+type Result struct {
+	Tree *tree.Tree
+	// Levels is the number of tree levels the induction loop processed.
+	Levels int
+	// PerLevel breaks the run down level by level.
+	PerLevel []LevelStats
+	// ModeledSeconds is the modeled parallel runtime T_p (maximum virtual
+	// clock over ranks), including the presort.
+	ModeledSeconds float64
+	// PresortModeledSeconds is the modeled time of the presort phase only.
+	PresortModeledSeconds float64
+	// WallSeconds is the host wall-clock time of the run.
+	WallSeconds float64
+	// PeakMemoryPerRank is each rank's peak tracked bytes (attribute
+	// lists, node table, communication buffers).
+	PeakMemoryPerRank []int64
+	// Stats are the per-rank communication counters.
+	Stats []comm.Stats
+}
+
+// Options tunes the parallel induction engine beyond the split-selection
+// configuration.
+type Options struct {
+	// RecordMap supplies the splitting-phase mapping; nil selects the
+	// distributed node table.
+	RecordMap RecordMapFactory
+	// PerNodeComms switches FindSplit reductions, record-map updates, and
+	// enquiries from one batch per level to one batch per node — the
+	// communication structure section 3.1 argues against. The induced
+	// tree is identical; only the number (and size) of communication
+	// steps changes. For the ABL-NODE ablation.
+	PerNodeComms bool
+	// RebalanceLevels redistributes every active node's list segments to
+	// equal shares per rank after each level, preserving order — the
+	// opposite of the paper's fixed data distribution (§3.1). Restores
+	// per-node load balance on pathologically correlated data at the
+	// cost of one extra all-to-all per attribute per level. For the
+	// ABL-REBAL ablation; the induced tree is identical.
+	RebalanceLevels bool
+	// BatchedEnquiry merges PerformSplitII's per-attribute node-table
+	// enquiries into a single enquiry per level — one of the
+	// communication-overhead optimizations the paper defers to its
+	// technical report [5]. Saves 2·(n_a - 2) all-to-all steps per level
+	// at the cost of n_a-times larger enquiry buffers (the paper goes
+	// one attribute at a time precisely to bound that memory). Mutually
+	// exclusive with PerNodeComms.
+	BatchedEnquiry bool
+}
+
+// Train runs ScalParC on the world's processors and returns the tree with
+// run metrics. The world's clocks, stats, and memory meters are reset at
+// the start of the run.
+func Train(w *comm.World, tab *dataset.Table, cfg splitter.Config) (*Result, error) {
+	return TrainOpts(w, tab, cfg, Options{})
+}
+
+// TrainWith is Train with a custom splitting-phase RecordMap.
+func TrainWith(w *comm.World, tab *dataset.Table, cfg splitter.Config, factory RecordMapFactory) (*Result, error) {
+	return TrainOpts(w, tab, cfg, Options{RecordMap: factory})
+}
+
+// TrainOpts is Train with explicit engine options.
+func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Options) (*Result, error) {
+	if opts.PerNodeComms && opts.BatchedEnquiry {
+		return nil, fmt.Errorf("scalparc: PerNodeComms and BatchedEnquiry are mutually exclusive")
+	}
+	factory := opts.RecordMap
+	if factory == nil {
+		factory = DistributedNodeTable
+	}
+	if err := tab.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(tab.Schema); err != nil {
+		return nil, err
+	}
+	if tab.NumRows() == 0 {
+		return nil, fmt.Errorf("scalparc: empty training set")
+	}
+
+	w.ResetClocks()
+	w.ResetStats()
+	w.ResetMemory()
+
+	res := &Result{}
+	trees := make([]*tree.Tree, w.Size())
+	levels := make([]int, w.Size())
+	presort := make([]float64, w.Size())
+	perLevel := make([][]LevelStats, w.Size())
+	start := time.Now()
+	w.Run(func(c *comm.Comm) {
+		wk := newWorker(c, tab, cfg, factory)
+		wk.perNode = opts.PerNodeComms
+		wk.batched = opts.BatchedEnquiry
+		wk.rebalance = opts.RebalanceLevels
+		presort[c.Rank()] = c.Clock()
+		trees[c.Rank()], levels[c.Rank()] = wk.induce()
+		perLevel[c.Rank()] = wk.levelStats
+		wk.free()
+	})
+	res.WallSeconds = time.Since(start).Seconds()
+	res.Tree = trees[0]
+	res.Levels = levels[0]
+	res.PerLevel = perLevel[0]
+	res.ModeledSeconds = w.MaxClock()
+	for _, t := range presort {
+		if t > res.PresortModeledSeconds {
+			res.PresortModeledSeconds = t
+		}
+	}
+	res.PeakMemoryPerRank = w.PeakMemory()
+	res.Stats = w.Stats()
+	return res, nil
+}
+
+// seg is one active node's slice of an attribute list's local backing.
+type seg struct{ off, n int }
+
+// nodeState is one active node, replicated consistently on every rank.
+type nodeState struct {
+	node  *tree.Node
+	hist  []int64
+	depth int
+}
+
+// worker is one rank's induction state.
+type worker struct {
+	c      *comm.Comm
+	schema *dataset.Schema
+	cfg    splitter.Config
+	n      int // global record count
+
+	rm RecordMap
+
+	// Attribute lists: cont[a] / cat[a] hold the local fragments of every
+	// active node's list for attribute a, concatenated in node order;
+	// segs[a][i] locates node i's segment.
+	cont [][]dataset.ContEntry
+	cat  [][]dataset.CatEntry
+	segs [][]seg
+
+	active []*nodeState
+
+	listBytes  int64 // currently tracked attribute-list bytes
+	perNode    bool  // ABL-NODE: per-node instead of per-level comms
+	batched    bool  // tech-report optimization: one enquiry per level
+	rebalance  bool  // ABL-REBAL: re-equalise list shares per level
+	levelStats []LevelStats
+}
+
+// newWorker distributes the table, builds this rank's attribute lists, and
+// runs the presort.
+func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory RecordMapFactory) *worker {
+	n := tab.NumRows()
+	p := c.Size()
+	lo, hi := dataset.BlockRange(n, p, c.Rank())
+	local := dataset.BuildLists(tab.Slice(lo, hi), lo)
+
+	wk := &worker{
+		c:      c,
+		schema: tab.Schema,
+		cfg:    cfg,
+		n:      n,
+		rm:     factory(c, n),
+		cont:   local.Cont,
+		cat:    local.Cat,
+		segs:   make([][]seg, tab.Schema.NumAttrs()),
+	}
+
+	// Presort: sample sort + shift for every continuous attribute. The
+	// categorical lists stay in record order.
+	for _, a := range wk.schema.ContIndices() {
+		wk.cont[a] = psort.Sort(c, wk.cont[a])
+	}
+
+	// One segment per attribute: the root owns everything.
+	for a := range wk.segs {
+		wk.segs[a] = []seg{{0, wk.segLenAll(a)}}
+	}
+	wk.listBytes = wk.listsBytes()
+	c.Mem().Alloc(wk.listBytes)
+
+	// The root's global class histogram.
+	localHist := make([]int64, wk.schema.NumClasses())
+	for _, cl := range tab.Class[lo:hi] {
+		localHist[cl]++
+	}
+	hist := comm.AllReduceSum(c, localHist)
+	root := &tree.Node{Hist: hist}
+	wk.active = []*nodeState{{node: root, hist: hist, depth: 0}}
+	return wk
+}
+
+func (wk *worker) segLenAll(a int) int {
+	if wk.cont[a] != nil {
+		return len(wk.cont[a])
+	}
+	return len(wk.cat[a])
+}
+
+func (wk *worker) listsBytes() int64 {
+	var b int64
+	for a := range wk.schema.Attrs {
+		b += int64(len(wk.cont[a])) * dataset.ContEntrySize
+		b += int64(len(wk.cat[a])) * dataset.CatEntrySize
+	}
+	return b
+}
+
+// induce runs the level loop and returns the finished tree and the number
+// of levels processed.
+func (wk *worker) induce() (*tree.Tree, int) {
+	root := wk.active[0].node
+	levels := 0
+	for len(wk.active) > 0 {
+		levels++
+		wk.runLevel()
+	}
+	return &tree.Tree{Schema: wk.schema, Root: root}, levels
+}
+
+// free releases the worker's tracked memory.
+func (wk *worker) free() {
+	wk.c.Mem().Free(wk.listBytes)
+	wk.listBytes = 0
+	wk.rm.Free()
+}
+
+// runLevel executes the four phases for the current set of active nodes
+// and replaces them with the next level's.
+func (wk *worker) runLevel() {
+	levelStart := wk.c.Clock()
+	stats := LevelStats{ActiveNodes: len(wk.active)}
+	for _, ns := range wk.active {
+		for _, c := range ns.hist {
+			stats.Records += c
+		}
+	}
+	// Termination tests (FindSplitII's first half): replicated, no
+	// communication — every rank has every node's global histogram.
+	needSplit := make([]bool, len(wk.active))
+	splitIdx := make([]int, len(wk.active)) // index among need-split nodes, or -1
+	nNeed := 0
+	for i, ns := range wk.active {
+		splitIdx[i] = -1
+		if wk.shouldTrySplit(ns) {
+			needSplit[i] = true
+			splitIdx[i] = nNeed
+			nNeed++
+		}
+	}
+
+	// FindSplit: winning candidate per need-split node (globally agreed).
+	cands := wk.findSplits(splitIdx, nNeed)
+
+	// Final split-or-leaf decision, replicated.
+	doSplit := make([]bool, len(wk.active))
+	for i, ns := range wk.active {
+		if !needSplit[i] {
+			makeLeaf(ns.node, ns.hist)
+			continue
+		}
+		cand := cands[splitIdx[i]]
+		if !cand.Valid || cand.Gini >= gini.Index(ns.hist) {
+			makeLeaf(ns.node, ns.hist)
+			continue
+		}
+		doSplit[i] = true
+		wk.recordDecision(ns.node, cand)
+	}
+
+	// PerformSplitI: assignments from the splitting attributes' lists into
+	// the record map, plus global child histograms.
+	splitChild, childHists := wk.performSplitI(doSplit, splitIdx, cands)
+
+	// Build the next level's node set (replicated).
+	nextActive, childStates := wk.buildChildren(doSplit, splitIdx, childHists)
+
+	// PerformSplitII: split every attribute list consistently.
+	wk.performSplitII(doSplit, splitIdx, cands, splitChild, nextActive, childStates)
+
+	wk.active = nextActive
+	if wk.rebalance {
+		wk.rebalanceLists()
+	}
+
+	for _, split := range doSplit {
+		if split {
+			stats.SplitNodes++
+		}
+	}
+	stats.ModeledSeconds = wk.c.Clock() - levelStart
+	wk.levelStats = append(wk.levelStats, stats)
+}
+
+// shouldTrySplit applies the pre-candidate termination criteria in the
+// exact order the serial oracle uses.
+func (wk *worker) shouldTrySplit(ns *nodeState) bool {
+	var size int64
+	classes := 0
+	for _, c := range ns.hist {
+		size += c
+		if c > 0 {
+			classes++
+		}
+	}
+	if classes <= 1 {
+		return false
+	}
+	if wk.cfg.MaxDepth > 0 && ns.depth >= wk.cfg.MaxDepth {
+		return false
+	}
+	return size >= int64(wk.cfg.MinSplit)
+}
+
+// recordDecision writes the winning candidate into the tree node.
+func (wk *worker) recordDecision(n *tree.Node, cand splitter.Candidate) {
+	attr := int(cand.Attr)
+	n.Attr = attr
+	n.Kind = wk.schema.Attrs[attr].Kind
+	n.Gini = cand.Gini
+	if cand.Kind == splitter.ContSplit {
+		n.Threshold = cand.Threshold
+	}
+	if cand.Kind == splitter.CatSubset {
+		subset := make([]bool, wk.schema.Attrs[attr].Cardinality())
+		for v := range subset {
+			subset[v] = cand.Subset&(1<<uint(v)) != 0
+		}
+		n.Subset = subset
+	}
+}
+
+// childCount returns the number of children a candidate produces.
+func (wk *worker) childCount(cand splitter.Candidate) int {
+	if cand.Kind == splitter.CatMWay {
+		return wk.schema.Attrs[cand.Attr].Cardinality()
+	}
+	return 2
+}
+
+// childOfValue returns the child a splitting-attribute entry descends to.
+func childOfCont(cand splitter.Candidate, v float64) uint8 {
+	if v <= cand.Threshold {
+		return 0
+	}
+	return 1
+}
+
+func childOfCat(cand splitter.Candidate, v int32) uint8 {
+	if cand.Kind == splitter.CatSubset {
+		if v < 64 && cand.Subset&(1<<uint(v)) != 0 {
+			return 0
+		}
+		return 1
+	}
+	return uint8(v)
+}
+
+// makeLeaf finalises a node as a leaf with its majority label.
+func makeLeaf(n *tree.Node, hist []int64) {
+	n.Leaf = true
+	n.Label = tree.Majority(hist)
+}

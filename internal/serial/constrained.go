@@ -1,0 +1,64 @@
+package serial
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+// IOStats quantifies the disk-I/O cost of running the serial classifier
+// under a main-memory budget — the section 2 motivation for parallelising:
+// "if the hash table does not fit in the memory, then multiple passes need
+// to be done over the entire data requiring additional expensive disk I/O."
+//
+// SPRINT's splitting phase needs an in-memory rid -> child hash table
+// proportional to the node's record count. Under a budget B, a node with a
+// table of H bytes splits in ⌈H/B⌉ stages, and every stage re-reads the
+// node's attribute lists. IOStats accounts those passes; the induced tree
+// is unchanged (staging only reorders work).
+type IOStats struct {
+	// HashTableBytes is the largest hash table any node needed.
+	HashTableBytes int64
+	// Stages is the total number of splitting stages across all nodes
+	// (equal to the number of split nodes when everything fits).
+	Stages int64
+	// EntriesRead counts attribute-list entries read during all
+	// splitting phases, including re-reads by extra stages.
+	EntriesRead int64
+	// ExtraEntriesRead is EntriesRead minus the single-pass ideal: the
+	// redundant disk traffic the memory limit causes.
+	ExtraEntriesRead int64
+}
+
+// hashEntryBytes is the per-record size of the rid -> child mapping (a
+// record id and a child number).
+const hashEntryBytes = 5
+
+// TrainConstrained trains exactly like Train but accounts the staged
+// splitting a memory budget of memBudget bytes would force. The returned
+// tree is identical to Train's.
+func TrainConstrained(tab *dataset.Table, cfg splitter.Config, memBudget int64) (*tree.Tree, IOStats, error) {
+	if memBudget <= 0 {
+		return nil, IOStats{}, fmt.Errorf("serial: memory budget %d must be positive", memBudget)
+	}
+	var st IOStats
+	t, err := train(tab, cfg, func(nodeRecords int64, listEntries int64) {
+		hashBytes := nodeRecords * hashEntryBytes
+		if hashBytes > st.HashTableBytes {
+			st.HashTableBytes = hashBytes
+		}
+		stages := (hashBytes + memBudget - 1) / memBudget
+		if stages < 1 {
+			stages = 1
+		}
+		st.Stages += stages
+		st.EntriesRead += stages * listEntries
+		st.ExtraEntriesRead += (stages - 1) * listEntries
+	})
+	if err != nil {
+		return nil, IOStats{}, err
+	}
+	return t, st, nil
+}

@@ -1,0 +1,102 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/splitter"
+)
+
+func TestConstrainedSameTree(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 19}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{64, 1024, 1 << 30} {
+		got, _, err := TrainConstrained(tab, splitter.Config{}, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("budget %d changed the tree", budget)
+		}
+	}
+}
+
+func TestConstrainedNoExtraIOWhenFits(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 19}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := TrainConstrained(tab, splitter.Config{}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExtraEntriesRead != 0 {
+		t.Fatalf("generous budget should cause no extra reads, got %d", st.ExtraEntriesRead)
+	}
+	if st.HashTableBytes != 500*hashEntryBytes {
+		t.Fatalf("root hash table %d bytes, want %d", st.HashTableBytes, 500*hashEntryBytes)
+	}
+	if st.Stages == 0 || st.EntriesRead == 0 {
+		t.Fatal("stats not collected")
+	}
+}
+
+func TestConstrainedExtraIOGrowsAsBudgetShrinks(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 19}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for _, budget := range []int64{1 << 20, 2500, 1250, 625} {
+		_, st, err := TrainConstrained(tab, splitter.Config{}, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && st.ExtraEntriesRead < prev {
+			t.Fatalf("budget %d: extra reads %d decreased from %d", budget, st.ExtraEntriesRead, prev)
+		}
+		prev = st.ExtraEntriesRead
+	}
+	if prev == 0 {
+		t.Fatal("smallest budget should force extra passes")
+	}
+}
+
+func TestConstrainedStageArithmetic(t *testing.T) {
+	// Root: 2000 records -> hash table 10000 bytes. Budget 2500 -> 4
+	// stages for the root split alone; each stage re-reads the node's
+	// 2000*7 entries.
+	tab, err := datagen.Generate(datagen.Config{Function: 1, Attrs: datagen.Seven, Seed: 4}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := TrainConstrained(tab, splitter.Config{MaxDepth: 1}, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stages != 4 {
+		t.Fatalf("stages %d, want 4", st.Stages)
+	}
+	if st.EntriesRead != 4*2000*7 {
+		t.Fatalf("entries read %d, want %d", st.EntriesRead, 4*2000*7)
+	}
+	if st.ExtraEntriesRead != 3*2000*7 {
+		t.Fatalf("extra entries %d, want %d", st.ExtraEntriesRead, 3*2000*7)
+	}
+}
+
+func TestConstrainedRejectsBadBudget(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 1, Attrs: datagen.Seven, Seed: 4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := TrainConstrained(tab, splitter.Config{}, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

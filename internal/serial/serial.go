@@ -1,0 +1,266 @@
+// Package serial implements the sequential SPRINT-style decision-tree
+// classifier of the paper's section 2: attribute lists fragmented
+// vertically, continuous lists pre-sorted exactly once, an in-memory record
+// to child mapping driving consistent splits, and level-synchronous
+// induction.
+//
+// It serves two roles: the baseline whose runtime T_s the speedup
+// experiments divide by, and the correctness oracle — ScalParC and the
+// parallel SPRINT formulation must produce this tree exactly, for every
+// processor count.
+package serial
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/gini"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+// nodeState is one active (still splittable) node during induction.
+type nodeState struct {
+	node  *tree.Node
+	lists *dataset.Lists
+	hist  []int64
+	depth int
+}
+
+// Train builds a decision tree on the table.
+func Train(tab *dataset.Table, cfg splitter.Config) (*tree.Tree, error) {
+	return train(tab, cfg, nil)
+}
+
+// train runs the induction; onSplit, if non-nil, is invoked once per split
+// node with the node's record count and total attribute-list entries
+// (TrainConstrained's staging accounting hook).
+func train(tab *dataset.Table, cfg splitter.Config, onSplit func(nodeRecords, listEntries int64)) (*tree.Tree, error) {
+	if err := tab.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(tab.Schema); err != nil {
+		return nil, err
+	}
+	if tab.NumRows() == 0 {
+		return nil, fmt.Errorf("serial: empty training set")
+	}
+
+	// Presort: build the attribute lists and sort the continuous ones,
+	// once. Splits preserve the order from here on.
+	lists := dataset.BuildLists(tab, 0)
+	lists.SortContinuous()
+
+	root := &tree.Node{Hist: tab.ClassHistogram()}
+	active := []*nodeState{{node: root, lists: lists, hist: root.Hist, depth: 0}}
+
+	// childOf maps a global record id to its child number within the node
+	// currently being split — the serial analogue of SPRINT's per-node
+	// hash table, sized O(N) (the memory wall the parallel formulation
+	// removes).
+	childOf := make([]uint8, tab.NumRows())
+
+	for len(active) > 0 {
+		var next []*nodeState
+		for _, ns := range active {
+			cand := bestSplit(ns, cfg)
+			if !cand.Valid || cand.Gini >= gini.Index(ns.hist) {
+				makeLeaf(ns.node, ns.hist)
+				continue
+			}
+			if onSplit != nil {
+				var size int64
+				for _, c := range ns.hist {
+					size += c
+				}
+				onSplit(size, size*int64(tab.Schema.NumAttrs()))
+			}
+			next = append(next, splitNode(ns, cand, tab.Schema, cfg, childOf)...)
+		}
+		active = next
+	}
+	return &tree.Tree{Schema: tab.Schema, Root: root}, nil
+}
+
+// makeLeaf finalises a node as a leaf with the majority label.
+func makeLeaf(n *tree.Node, hist []int64) {
+	n.Leaf = true
+	n.Label = tree.Majority(hist)
+	n.Hist = hist
+}
+
+// bestSplit returns the winning candidate for a node, or Invalid if the
+// node must become a leaf. The candidate order mirrors the parallel
+// formulation exactly.
+func bestSplit(ns *nodeState, cfg splitter.Config) splitter.Candidate {
+	size := int64(0)
+	classes := 0
+	for _, c := range ns.hist {
+		size += c
+		if c > 0 {
+			classes++
+		}
+	}
+	if classes <= 1 { // pure
+		return splitter.Invalid
+	}
+	if cfg.MaxDepth > 0 && ns.depth >= cfg.MaxDepth {
+		return splitter.Invalid
+	}
+	if size < int64(cfg.MinSplit) {
+		return splitter.Invalid
+	}
+
+	best := splitter.Invalid
+	for a, attr := range ns.lists.Schema.Attrs {
+		var cand splitter.Candidate
+		if attr.Kind == dataset.Continuous {
+			cand = bestContinuous(ns.lists.Cont[a], ns.hist, a)
+		} else {
+			m := splitter.NewCountMatrix(attr.Cardinality(), len(ns.hist))
+			for _, e := range ns.lists.Cat[a] {
+				m.Add(e.Val, e.Cid)
+			}
+			cand = splitter.BestCategorical(m, a, cfg.CategoricalBinary)
+		}
+		best = splitter.Best(best, cand)
+	}
+	return best
+}
+
+// bestContinuous scans a sorted continuous list evaluating the gini of
+// every valid candidate point ("A <= v" where the next value differs).
+func bestContinuous(list []dataset.ContEntry, hist []int64, attr int) splitter.Candidate {
+	m := gini.NewMatrix(hist, nil)
+	best := splitter.Invalid
+	for i := 0; i < len(list)-1; i++ {
+		m.Move(list[i].Cid)
+		if list[i].Val == list[i+1].Val {
+			continue
+		}
+		cand := splitter.Candidate{
+			Valid:     true,
+			Gini:      m.Split(),
+			Attr:      int32(attr),
+			Kind:      splitter.ContSplit,
+			Threshold: list[i].Val,
+		}
+		best = splitter.Best(best, cand)
+	}
+	return best
+}
+
+// splitNode applies the winning candidate: records the decision in the
+// tree, partitions every attribute list stably among the children, and
+// returns the child states that remain active.
+func splitNode(ns *nodeState, cand splitter.Candidate, schema *dataset.Schema, cfg splitter.Config, childOf []uint8) []*nodeState {
+	attr := int(cand.Attr)
+	nChildren := 2
+	if cand.Kind == splitter.CatMWay {
+		nChildren = schema.Attrs[attr].Cardinality()
+	}
+
+	ns.node.Attr = attr
+	ns.node.Kind = schema.Attrs[attr].Kind
+	ns.node.Gini = cand.Gini
+	if cand.Kind == splitter.ContSplit {
+		ns.node.Threshold = cand.Threshold
+	}
+	if cand.Kind == splitter.CatSubset {
+		subset := make([]bool, schema.Attrs[attr].Cardinality())
+		for v := range subset {
+			subset[v] = cand.Subset&(1<<uint(v)) != 0
+		}
+		ns.node.Subset = subset
+	}
+
+	// Phase 1 (PerformSplitI analogue): the splitting attribute's list
+	// determines each record's child; record it in the rid -> child map
+	// and accumulate the child class histograms.
+	childHists := make([][]int64, nChildren)
+	for k := range childHists {
+		childHists[k] = make([]int64, len(ns.hist))
+	}
+	assign := func(rid int32, cid uint8, child uint8) {
+		childOf[rid] = child
+		childHists[child][cid]++
+	}
+	if schema.Attrs[attr].Kind == dataset.Continuous {
+		for _, e := range ns.lists.Cont[attr] {
+			child := uint8(1)
+			if e.Val <= cand.Threshold {
+				child = 0
+			}
+			assign(e.Rid, e.Cid, child)
+		}
+	} else {
+		for _, e := range ns.lists.Cat[attr] {
+			child := childOfCategorical(cand, e.Val)
+			assign(e.Rid, e.Cid, child)
+		}
+	}
+
+	// Phase 2 (PerformSplitII analogue): split every attribute list
+	// stably, consulting the rid -> child map, so continuous lists stay
+	// sorted within each child.
+	childLists := make([]*dataset.Lists, nChildren)
+	for k := range childLists {
+		childLists[k] = &dataset.Lists{
+			Schema: schema,
+			Cont:   make([][]dataset.ContEntry, len(schema.Attrs)),
+			Cat:    make([][]dataset.CatEntry, len(schema.Attrs)),
+		}
+	}
+	for a, at := range schema.Attrs {
+		if at.Kind == dataset.Continuous {
+			for _, e := range ns.lists.Cont[a] {
+				k := childOf[e.Rid]
+				childLists[k].Cont[a] = append(childLists[k].Cont[a], e)
+			}
+		} else {
+			for _, e := range ns.lists.Cat[a] {
+				k := childOf[e.Rid]
+				childLists[k].Cat[a] = append(childLists[k].Cat[a], e)
+			}
+		}
+	}
+
+	parentMajority := tree.Majority(ns.hist)
+	ns.node.Children = make([]*tree.Node, nChildren)
+	var out []*nodeState
+	for k := 0; k < nChildren; k++ {
+		child := &tree.Node{Hist: childHists[k]}
+		ns.node.Children[k] = child
+		var size int64
+		for _, c := range childHists[k] {
+			size += c
+		}
+		if size == 0 {
+			// Empty child (an unpopulated categorical value): a leaf
+			// predicting the parent's majority.
+			child.Leaf = true
+			child.Label = parentMajority
+			continue
+		}
+		out = append(out, &nodeState{
+			node:  child,
+			lists: childLists[k],
+			hist:  childHists[k],
+			depth: ns.depth + 1,
+		})
+	}
+	return out
+}
+
+// childOfCategorical returns the child a categorical value descends to
+// under the candidate's decision.
+func childOfCategorical(cand splitter.Candidate, v int32) uint8 {
+	if cand.Kind == splitter.CatSubset {
+		if v < 64 && cand.Subset&(1<<uint(v)) != 0 {
+			return 0
+		}
+		return 1
+	}
+	return uint8(v)
+}

@@ -1,0 +1,355 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+func salaryAgeSchema() *dataset.Schema {
+	return &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "salary", Kind: dataset.Continuous},
+			{Name: "age", Kind: dataset.Continuous},
+		},
+		Classes: []string{"L", "R"},
+	}
+}
+
+// figure1Table mirrors the paper's Figure 1 setting: a small salary/age
+// training set where a salary threshold cleanly separates the classes.
+func figure1Table(t *testing.T) *dataset.Table {
+	t.Helper()
+	tab := dataset.NewTable(salaryAgeSchema(), 9)
+	rows := []struct {
+		salary, age float64
+		class       int
+	}{
+		{15, 30, 0}, {25, 45, 0}, {30, 25, 0}, {40, 55, 0},
+		{65, 35, 1}, {75, 50, 1}, {90, 28, 1}, {100, 60, 1}, {120, 40, 1},
+	}
+	for _, r := range rows {
+		if err := tab.AppendRow([]float64{r.salary, r.age}, r.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestTrainFigure1Example(t *testing.T) {
+	tab := figure1Table(t)
+	tr, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root
+	if root.Leaf {
+		t.Fatal("root should split")
+	}
+	if root.Attr != 0 || root.Kind != dataset.Continuous {
+		t.Fatalf("root should split on salary, got attr %d", root.Attr)
+	}
+	// The best candidate "salary <= 40" separates the classes perfectly.
+	if root.Threshold != 40 {
+		t.Fatalf("threshold %v, want 40", root.Threshold)
+	}
+	if root.Gini != 0 {
+		t.Fatalf("perfect split gini %v", root.Gini)
+	}
+	if !root.Children[0].Leaf || !root.Children[1].Leaf {
+		t.Fatal("children of a perfect split must be leaves")
+	}
+	if root.Children[0].Label != 0 || root.Children[1].Label != 1 {
+		t.Fatal("leaf labels wrong")
+	}
+	// Training accuracy must be perfect.
+	for r := 0; r < tab.NumRows(); r++ {
+		if tr.Predict(tab.Row(r)) != int(tab.Class[r]) {
+			t.Fatalf("row %d mispredicted", r)
+		}
+	}
+}
+
+func TestTrainPureNodeIsLeaf(t *testing.T) {
+	tab := dataset.NewTable(salaryAgeSchema(), 3)
+	for i := 0; i < 3; i++ {
+		if err := tab.AppendRow([]float64{float64(i), float64(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf || tr.Root.Label != 1 {
+		t.Fatalf("pure set should give a single leaf, got %+v", tr.Root)
+	}
+}
+
+func TestTrainConstantAttributesIsLeaf(t *testing.T) {
+	// Two classes but no attribute can separate them: all values equal.
+	tab := dataset.NewTable(salaryAgeSchema(), 4)
+	for i := 0; i < 4; i++ {
+		if err := tab.AppendRow([]float64{5, 5}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf {
+		t.Fatal("unsplittable set should give a leaf")
+	}
+	if tr.Root.Label != 0 {
+		t.Fatal("majority tie must resolve to class 0")
+	}
+}
+
+func TestTrainMaxDepth(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 11}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Train(tab, splitter.Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 3 {
+		t.Fatalf("depth %d exceeds MaxDepth 3", d)
+	}
+	unlimited, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.Depth() <= 3 {
+		t.Fatal("test needs a dataset that grows deeper than 3")
+	}
+}
+
+func TestTrainMinSplit(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 11}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Train(tab, splitter.Config{MinSplit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No internal node may have fewer than MinSplit records.
+	var check func(n *tree.Node)
+	check = func(n *tree.Node) {
+		if !n.Leaf && n.Size() < 100 {
+			t.Fatalf("internal node with %d records under MinSplit 100", n.Size())
+		}
+		for _, c := range n.Children {
+			check(c)
+		}
+	}
+	check(tr.Root)
+}
+
+func TestTrainCategoricalMWay(t *testing.T) {
+	s := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "color", Kind: dataset.Categorical, Values: []string{"red", "green", "blue", "grey"}},
+		},
+		Classes: []string{"A", "B"},
+	}
+	tab := dataset.NewTable(s, 6)
+	// red -> A, green -> B, blue -> A; grey never appears.
+	data := []struct {
+		v     float64
+		class int
+	}{{0, 0}, {0, 0}, {1, 1}, {1, 1}, {2, 0}, {2, 0}}
+	for _, d := range data {
+		if err := tab.AppendRow([]float64{d.v}, d.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root
+	if root.Leaf || root.Kind != dataset.Categorical || len(root.Children) != 4 {
+		t.Fatalf("root %+v", root)
+	}
+	// All four children are leaves; the empty "grey" child predicts the
+	// parent majority (A: 4 vs 2).
+	for v, child := range root.Children {
+		if !child.Leaf {
+			t.Fatalf("child %d not a leaf", v)
+		}
+	}
+	if root.Children[0].Label != 0 || root.Children[1].Label != 1 || root.Children[2].Label != 0 {
+		t.Fatal("populated child labels wrong")
+	}
+	if root.Children[3].Label != 0 || root.Children[3].Size() != 0 {
+		t.Fatalf("empty child should predict parent majority A, got %+v", root.Children[3])
+	}
+}
+
+func TestTrainCategoricalSubset(t *testing.T) {
+	s := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "color", Kind: dataset.Categorical, Values: []string{"red", "green", "blue", "grey"}},
+		},
+		Classes: []string{"A", "B"},
+	}
+	tab := dataset.NewTable(s, 8)
+	// {red, blue} -> A, {green, grey} -> B.
+	data := []struct {
+		v     float64
+		class int
+	}{{0, 0}, {0, 0}, {2, 0}, {2, 0}, {1, 1}, {1, 1}, {3, 1}, {3, 1}}
+	for _, d := range data {
+		if err := tab.AppendRow([]float64{d.v}, d.class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := Train(tab, splitter.Config{CategoricalBinary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root
+	if root.Leaf || root.Subset == nil || len(root.Children) != 2 {
+		t.Fatalf("root %+v", root)
+	}
+	if root.Gini != 0 {
+		t.Fatalf("subset split should be perfect, gini %v", root.Gini)
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		if tr.Predict(tab.Row(r)) != int(tab.Class[r]) {
+			t.Fatalf("row %d mispredicted", r)
+		}
+	}
+}
+
+func TestTrainQuestFunctionsFitTrainingSet(t *testing.T) {
+	// Labels are deterministic functions of the attributes, so an
+	// unbounded tree must fit the training set (near-)perfectly.
+	for _, f := range []int{1, 2, 6, 7} {
+		tab, err := datagen.Generate(datagen.Config{Function: f, Attrs: datagen.Seven, Seed: 17}, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Train(tab, splitter.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for r := 0; r < tab.NumRows(); r++ {
+			if tr.Predict(tab.Row(r)) != int(tab.Class[r]) {
+				errs++
+			}
+		}
+		if errs != 0 {
+			t.Errorf("function %d: %d training errors", f, errs)
+		}
+	}
+}
+
+func TestTrainGeneralisesOnHeldOut(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 1, Attrs: datagen.Seven, Seed: 23}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := tab.Split(0.7)
+	tr, err := Train(train, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := tr.PredictTable(test)
+	correct := 0
+	for r, p := range pred {
+		if p == int(test.Class[r]) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.NumRows())
+	if acc < 0.95 {
+		t.Fatalf("held-out accuracy %.3f on F1, want >= 0.95", acc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	tab, err := datagen.Generate(datagen.Config{Function: 5, Attrs: datagen.Seven, Seed: 31}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("two trainings on the same data differ")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(dataset.NewTable(salaryAgeSchema(), 0), splitter.Config{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	bad := &dataset.Schema{Classes: []string{"A", "B"}}
+	if _, err := Train(dataset.NewTable(bad, 0), splitter.Config{}); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+	tab := figure1Table(t)
+	if _, err := Train(tab, splitter.Config{MaxDepth: -1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestTrainSingleRecord(t *testing.T) {
+	tab := dataset.NewTable(salaryAgeSchema(), 1)
+	if err := tab.AppendRow([]float64{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf || tr.Root.Label != 1 {
+		t.Fatal("single record should give a single leaf of its class")
+	}
+}
+
+func TestTrainHistogramsConsistent(t *testing.T) {
+	// Every internal node's histogram must equal the sum of its
+	// children's histograms.
+	tab, err := datagen.Generate(datagen.Config{Function: 3, Attrs: datagen.Seven, Seed: 13}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func(n *tree.Node)
+	check = func(n *tree.Node) {
+		if n.Leaf {
+			return
+		}
+		sum := make([]int64, len(n.Hist))
+		for _, c := range n.Children {
+			for j := range sum {
+				sum[j] += c.Hist[j]
+			}
+			check(c)
+		}
+		for j := range sum {
+			if sum[j] != n.Hist[j] {
+				t.Fatalf("histogram mismatch at node: %v vs children sum %v", n.Hist, sum)
+			}
+		}
+	}
+	check(tr.Root)
+}

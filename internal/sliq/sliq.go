@@ -1,0 +1,411 @@
+// Package sliq implements SLIQ (Mehta, Agrawal, Rissanen — EDBT 1996), the
+// predecessor design the paper builds on (reference [7]): a serial
+// decision-tree classifier for large datasets whose attribute lists carry
+// only (value, record id) pairs and stay *unsplit* for the whole
+// induction, while a memory-resident **class list** maps every record id
+// to its current leaf.
+//
+// Each level makes one sequential pass over every attribute list: because
+// the continuous lists are globally pre-sorted, a single scan evaluates
+// the gini of every candidate split point of every active leaf
+// simultaneously (each leaf sees its records in sorted order). Applying
+// the chosen splits is another sequential pass that rewrites class-list
+// leaf pointers — no list is ever physically partitioned.
+//
+// The attribute lists are scanned strictly sequentially, which is what
+// makes SLIQ disk-friendly: TrainDisk runs the same induction with the
+// lists living in an extmem store, counting the real disk traffic. The
+// memory-resident class list — O(N) no matter what — is SLIQ's scalability
+// wall and the opening move of SPRINT's and ScalParC's designs.
+//
+// Split selection reuses package splitter, so SLIQ induces exactly the
+// same tree as the serial SPRINT-style classifier and as ScalParC.
+package sliq
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/extmem"
+	"repro/internal/gini"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+// listSource abstracts where the attribute lists live: memory or disk.
+type listSource interface {
+	scanCont(attr int, fn func(dataset.ContEntry)) error
+	scanCat(attr int, fn func(dataset.CatEntry)) error
+	close() error
+}
+
+// Train builds a decision tree with in-memory attribute lists.
+func Train(tab *dataset.Table, cfg splitter.Config) (*tree.Tree, error) {
+	lists := dataset.BuildLists(tab, 0)
+	lists.SortContinuous()
+	return induce(tab, cfg, &memSource{lists: lists})
+}
+
+// DiskStats reports the disk traffic of a TrainDisk run.
+type DiskStats = extmem.Stats
+
+// TrainDisk builds the same tree with the attribute lists on disk in an
+// extmem store under dir (written once, then only scanned), returning the
+// store's I/O counters. bufSize is the scan buffer in bytes.
+func TrainDisk(tab *dataset.Table, cfg splitter.Config, dir string, bufSize int) (*tree.Tree, DiskStats, error) {
+	store, err := extmem.NewStore(dir, bufSize)
+	if err != nil {
+		return nil, DiskStats{}, err
+	}
+	src := &diskSource{store: store, schema: tab.Schema}
+	lists := dataset.BuildLists(tab, 0)
+	lists.SortContinuous()
+	for a, attr := range tab.Schema.Attrs {
+		if attr.Kind == dataset.Continuous {
+			err = store.WriteCont(listName(a), lists.Cont[a])
+		} else {
+			err = store.WriteCat(listName(a), lists.Cat[a])
+		}
+		if err != nil {
+			store.Close()
+			return nil, DiskStats{}, err
+		}
+	}
+	t, err := induce(tab, cfg, src)
+	stats := store.Stats()
+	if cerr := store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return t, stats, err
+}
+
+func listName(attr int) string { return fmt.Sprintf("attr%03d", attr) }
+
+type memSource struct{ lists *dataset.Lists }
+
+func (m *memSource) scanCont(a int, fn func(dataset.ContEntry)) error {
+	for _, e := range m.lists.Cont[a] {
+		fn(e)
+	}
+	return nil
+}
+
+func (m *memSource) scanCat(a int, fn func(dataset.CatEntry)) error {
+	for _, e := range m.lists.Cat[a] {
+		fn(e)
+	}
+	return nil
+}
+
+func (m *memSource) close() error { return nil }
+
+type diskSource struct {
+	store  *extmem.Store
+	schema *dataset.Schema
+}
+
+func (d *diskSource) scanCont(a int, fn func(dataset.ContEntry)) error {
+	return d.store.ScanCont(listName(a), func(e dataset.ContEntry) error {
+		fn(e)
+		return nil
+	})
+}
+
+func (d *diskSource) scanCat(a int, fn func(dataset.CatEntry)) error {
+	return d.store.ScanCat(listName(a), func(e dataset.CatEntry) error {
+		fn(e)
+		return nil
+	})
+}
+
+func (d *diskSource) close() error { return nil }
+
+// nodeState is one active leaf of the growing tree.
+type nodeState struct {
+	node  *tree.Node
+	hist  []int64
+	depth int
+}
+
+// contScan is one leaf's running state during a continuous list pass.
+type contScan struct {
+	m       *gini.Matrix
+	prevVal float64
+	started bool
+	best    splitter.Candidate
+}
+
+func induce(tab *dataset.Table, cfg splitter.Config, src listSource) (*tree.Tree, error) {
+	defer src.close()
+	if err := tab.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(tab.Schema); err != nil {
+		return nil, err
+	}
+	n := tab.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("sliq: empty training set")
+	}
+	schema := tab.Schema
+
+	// The class list: SLIQ's memory-resident rid -> leaf mapping.
+	classList := make([]int32, n)
+	root := &tree.Node{Hist: tab.ClassHistogram()}
+	active := []*nodeState{{node: root, hist: root.Hist, depth: 0}}
+
+	for len(active) > 0 {
+		needSplit := make([]bool, len(active))
+		for i, ns := range active {
+			needSplit[i] = shouldTrySplit(ns, cfg)
+		}
+
+		// Evaluation pass: one scan per attribute list evaluates every
+		// active leaf's candidates at once.
+		best := make([]splitter.Candidate, len(active))
+		for a, attr := range schema.Attrs {
+			if attr.Kind == dataset.Continuous {
+				states := make([]*contScan, len(active))
+				for i := range active {
+					if needSplit[i] {
+						states[i] = &contScan{m: gini.NewMatrix(active[i].hist, nil)}
+					}
+				}
+				err := src.scanCont(a, func(e dataset.ContEntry) {
+					l := classList[e.Rid]
+					if l < 0 || states[l] == nil {
+						return
+					}
+					st := states[l]
+					if st.started && st.prevVal != e.Val {
+						cand := splitter.Candidate{
+							Valid:     true,
+							Gini:      st.m.Split(),
+							Attr:      int32(a),
+							Kind:      splitter.ContSplit,
+							Threshold: st.prevVal,
+						}
+						st.best = splitter.Best(st.best, cand)
+					}
+					st.m.Move(e.Cid)
+					st.prevVal = e.Val
+					st.started = true
+				})
+				if err != nil {
+					return nil, err
+				}
+				for i, st := range states {
+					if st != nil {
+						best[i] = splitter.Best(best[i], st.best)
+					}
+				}
+			} else {
+				counts := make([]*splitter.CountMatrix, len(active))
+				for i := range active {
+					if needSplit[i] {
+						counts[i] = splitter.NewCountMatrix(attr.Cardinality(), schema.NumClasses())
+					}
+				}
+				err := src.scanCat(a, func(e dataset.CatEntry) {
+					l := classList[e.Rid]
+					if l < 0 || counts[l] == nil {
+						return
+					}
+					counts[l].Add(e.Val, e.Cid)
+				})
+				if err != nil {
+					return nil, err
+				}
+				for i, m := range counts {
+					if m != nil {
+						best[i] = splitter.Best(best[i], splitter.BestCategorical(m, a, cfg.CategoricalBinary))
+					}
+				}
+			}
+		}
+
+		// Decisions.
+		doSplit := make([]bool, len(active))
+		for i, ns := range active {
+			if !needSplit[i] || !best[i].Valid || best[i].Gini >= gini.Index(ns.hist) {
+				makeLeaf(ns.node, ns.hist)
+				continue
+			}
+			doSplit[i] = true
+			recordDecision(ns.node, best[i], schema)
+		}
+
+		// Apply pass: first retire records whose leaf is finished, then
+		// one scan per splitting attribute rewrites the class list (the
+		// evaluation of this level read the old list; newClassList takes
+		// the writes).
+		newClassList := make([]int32, n)
+		pendingChild := make([]uint8, n)
+		const retired, pending, assigned = int32(-1), int32(-2), int32(-3)
+		for rid := 0; rid < n; rid++ {
+			l := classList[rid]
+			if l < 0 || !doSplit[l] {
+				newClassList[rid] = retired
+			} else {
+				newClassList[rid] = pending // must be claimed by an apply scan
+			}
+		}
+
+		var next []*nodeState
+		childIndex := make([][]int32, len(active))
+		childHists := make([][][]int64, len(active))
+		for i, ns := range active {
+			if !doSplit[i] {
+				continue
+			}
+			d := childCount(best[i], schema)
+			childIndex[i] = make([]int32, d)
+			childHists[i] = make([][]int64, d)
+			for k := 0; k < d; k++ {
+				childHists[i][k] = make([]int64, schema.NumClasses())
+			}
+			_ = ns
+		}
+
+		splitAttrs := map[int]bool{}
+		for i := range active {
+			if doSplit[i] {
+				splitAttrs[int(best[i].Attr)] = true
+			}
+		}
+		for a, attr := range schema.Attrs {
+			if !splitAttrs[a] {
+				continue
+			}
+			if attr.Kind == dataset.Continuous {
+				err := src.scanCont(a, func(e dataset.ContEntry) {
+					l := classList[e.Rid]
+					if l < 0 || !doSplit[l] || int(best[l].Attr) != a {
+						return
+					}
+					child := uint8(1)
+					if e.Val <= best[l].Threshold {
+						child = 0
+					}
+					newClassList[e.Rid] = assigned
+					pendingChild[e.Rid] = child
+					childHists[l][child][e.Cid]++
+				})
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				err := src.scanCat(a, func(e dataset.CatEntry) {
+					l := classList[e.Rid]
+					if l < 0 || !doSplit[l] || int(best[l].Attr) != a {
+						return
+					}
+					child := childOfCategorical(best[l], e.Val)
+					newClassList[e.Rid] = assigned
+					pendingChild[e.Rid] = child
+					childHists[l][child][e.Cid]++
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Materialise children now that their histograms are complete.
+		for i, ns := range active {
+			if !doSplit[i] {
+				continue
+			}
+			ns.node.Children = make([]*tree.Node, len(childHists[i]))
+			parentMajority := tree.Majority(ns.hist)
+			for k, hist := range childHists[i] {
+				child := &tree.Node{Hist: hist}
+				ns.node.Children[k] = child
+				var size int64
+				for _, c := range hist {
+					size += c
+				}
+				if size == 0 {
+					child.Leaf = true
+					child.Label = parentMajority
+					childIndex[i][k] = -1
+					continue
+				}
+				childIndex[i][k] = int32(len(next))
+				next = append(next, &nodeState{node: child, hist: hist, depth: ns.depth + 1})
+			}
+		}
+
+		// Decode the staged assignments into next-level leaf indices.
+		for rid := 0; rid < n; rid++ {
+			switch newClassList[rid] {
+			case retired:
+			case assigned:
+				newClassList[rid] = childIndex[classList[rid]][pendingChild[rid]]
+			default:
+				return nil, fmt.Errorf("sliq: record %d missed by every apply scan", rid)
+			}
+		}
+		classList = newClassList
+		active = next
+	}
+	return &tree.Tree{Schema: schema, Root: root}, nil
+}
+
+func shouldTrySplit(ns *nodeState, cfg splitter.Config) bool {
+	var size int64
+	classes := 0
+	for _, c := range ns.hist {
+		size += c
+		if c > 0 {
+			classes++
+		}
+	}
+	if classes <= 1 {
+		return false
+	}
+	if cfg.MaxDepth > 0 && ns.depth >= cfg.MaxDepth {
+		return false
+	}
+	return size >= int64(cfg.MinSplit)
+}
+
+func makeLeaf(n *tree.Node, hist []int64) {
+	n.Leaf = true
+	n.Label = tree.Majority(hist)
+}
+
+func recordDecision(n *tree.Node, cand splitter.Candidate, schema *dataset.Schema) {
+	attr := int(cand.Attr)
+	n.Attr = attr
+	n.Kind = schema.Attrs[attr].Kind
+	n.Gini = cand.Gini
+	if cand.Kind == splitter.ContSplit {
+		n.Threshold = cand.Threshold
+	}
+	if cand.Kind == splitter.CatSubset {
+		subset := make([]bool, schema.Attrs[attr].Cardinality())
+		for v := range subset {
+			subset[v] = cand.Subset&(1<<uint(v)) != 0
+		}
+		n.Subset = subset
+	}
+}
+
+func childCount(cand splitter.Candidate, schema *dataset.Schema) int {
+	if cand.Kind == splitter.CatMWay {
+		return schema.Attrs[cand.Attr].Cardinality()
+	}
+	return 2
+}
+
+func childOfCategorical(cand splitter.Candidate, v int32) uint8 {
+	if cand.Kind == splitter.CatSubset {
+		if v < 64 && cand.Subset&(1<<uint(v)) != 0 {
+			return 0
+		}
+		return 1
+	}
+	return uint8(v)
+}

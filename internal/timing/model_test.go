@@ -1,0 +1,109 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2PLinearInBytes(t *testing.T) {
+	m := T3D()
+	base := m.P2P(0)
+	if base != m.P2PLatency {
+		t.Fatalf("P2P(0)=%v want latency %v", base, m.P2PLatency)
+	}
+	got := m.P2P(1000)
+	want := m.P2PLatency + 1000/m.P2PBandwidth
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("P2P(1000)=%v want %v", got, want)
+	}
+}
+
+func TestAllToAllLatencyScalesWithP(t *testing.T) {
+	m := T3D()
+	if m.AllToAll(128, 0) != 128*m.A2ALatencyPerProc {
+		t.Fatalf("AllToAll latency term wrong: %v", m.AllToAll(128, 0))
+	}
+	if m.AllToAll(4, 1000) >= m.AllToAll(8, 1000) {
+		t.Fatal("AllToAll cost should grow with p at fixed bytes")
+	}
+}
+
+func TestTreeCollectivesFreeAtP1(t *testing.T) {
+	m := T3D()
+	for _, f := range []func(int, int) float64{m.AllReduce, m.Scan, m.Reduce, m.Bcast} {
+		if f(1, 1000) != 0 {
+			t.Fatal("single-processor collective should cost nothing")
+		}
+	}
+	if m.Barrier(1) != 0 {
+		t.Fatal("single-processor barrier should cost nothing")
+	}
+	if m.Allgather(1, 1000) != 0 {
+		t.Fatal("single-processor allgather should cost nothing")
+	}
+}
+
+func TestTreeCollectivesLogarithmic(t *testing.T) {
+	m := T3D()
+	// Doubling p adds exactly one round.
+	d1 := m.Bcast(4, 0)
+	d2 := m.Bcast(8, 0)
+	if math.Abs((d2-d1)-m.P2PLatency) > 1e-12 {
+		t.Fatalf("Bcast rounds not logarithmic: p=4 %v p=8 %v", d1, d2)
+	}
+	// AllReduce makes two passes over the tree.
+	if math.Abs(m.AllReduce(8, 0)-2*m.Bcast(8, 0)) > 1e-12 {
+		t.Fatal("AllReduce should cost two tree passes")
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	m := T3D()
+	got := m.Allgather(5, 100)
+	want := 4*m.P2PLatency + 400/m.P2PBandwidth
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Allgather(5,100)=%v want %v", got, want)
+	}
+}
+
+func TestComputeRates(t *testing.T) {
+	m := T3D()
+	if m.ScanTime(int(m.ScanRate)) != 1.0 {
+		t.Fatal("ScanTime not rate-linear")
+	}
+	if m.SplitTime(0) != 0 || m.HashTime(0) != 0 {
+		t.Fatal("zero work should cost zero")
+	}
+	if m.SortTime(0) != 0 || m.SortTime(1) != 0 {
+		t.Fatal("sorting <=1 element should cost zero")
+	}
+	if m.SortTime(1024) <= m.SortTime(512)*2-1e-12 {
+		// n log n: doubling n more than doubles cost
+		t.Fatal("SortTime should be superlinear")
+	}
+}
+
+func TestCostsNonNegativeAndMonotone(t *testing.T) {
+	m := T3D()
+	f := func(p8 uint8, bytes16 uint16) bool {
+		p := int(p8%64) + 1
+		b := int(bytes16)
+		costs := []float64{
+			m.P2P(b), m.AllToAll(p, b), m.AllReduce(p, b),
+			m.Scan(p, b), m.Allgather(p, b), m.Reduce(p, b),
+			m.Bcast(p, b), m.Barrier(p),
+		}
+		for _, c := range costs {
+			if c < 0 || math.IsNaN(c) {
+				return false
+			}
+		}
+		// more bytes never cheaper
+		return m.AllToAll(p, b+1) >= m.AllToAll(p, b) &&
+			m.AllReduce(p, b+1) >= m.AllReduce(p, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

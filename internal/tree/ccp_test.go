@@ -1,0 +1,148 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// overfitTree builds a tree whose deep split memorises noise: the split on
+// attr 0 at 50 is real; the sub-splits below it only fit noise.
+func overfitTree() *Tree {
+	return &Tree{
+		Schema: testSchema(),
+		Root: &Node{
+			Hist: []int64{50, 50},
+			Attr: 0, Kind: dataset.Continuous, Threshold: 50,
+			Children: []*Node{
+				{
+					Hist: []int64{45, 5},
+					Attr: 0, Kind: dataset.Continuous, Threshold: 25,
+					Children: []*Node{
+						{Leaf: true, Label: 0, Hist: []int64{22, 3}},
+						{Leaf: true, Label: 0, Hist: []int64{23, 2}},
+					},
+				},
+				{Leaf: true, Label: 1, Hist: []int64{5, 45}},
+			},
+		},
+	}
+}
+
+// validationTable builds rows where only the top split generalises.
+func validationTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tab := dataset.NewTable(testSchema(), 40)
+	for i := 0; i < 40; i++ {
+		v := float64(i * 100 / 40)
+		class := 0
+		if v > 50 {
+			class = 1
+		}
+		if err := tab.AppendRow([]float64{v, float64(i % 3)}, class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := overfitTree()
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone differs")
+	}
+	b.Root.Children[0].Leaf = true
+	b.Root.Children[0].Children = nil
+	b.Root.Hist[0] = 99
+	if a.Root.Children[0].Leaf || a.Root.Hist[0] == 99 {
+		t.Fatal("clone shares state with the original")
+	}
+}
+
+func TestPruneCCPRemovesUselessSubSplit(t *testing.T) {
+	tr := overfitTree()
+	val := validationTable(t)
+	removed, err := tr.PruneCCP(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed < 1 {
+		t.Fatalf("removed %d internal nodes, want >= 1", removed)
+	}
+	// The useless sub-split must be gone; the real top split must stay.
+	if tr.Root.Leaf {
+		t.Fatal("the generalising root split was pruned")
+	}
+	if !tr.Root.Children[0].Leaf {
+		t.Fatal("the noise-fitting sub-split survived")
+	}
+	// Validation accuracy must not have decreased.
+	if errs := validationErrors(tr, val); errs > validationErrors(overfitTree(), val) {
+		t.Fatal("pruning decreased validation accuracy")
+	}
+}
+
+func TestPruneCCPKeepsPerfectTree(t *testing.T) {
+	tr := &Tree{
+		Schema: testSchema(),
+		Root: &Node{
+			Hist: []int64{50, 50},
+			Attr: 0, Kind: dataset.Continuous, Threshold: 50,
+			Children: []*Node{
+				{Leaf: true, Label: 0, Hist: []int64{50, 0}},
+				{Leaf: true, Label: 1, Hist: []int64{0, 50}},
+			},
+		},
+	}
+	val := validationTable(t)
+	removed, err := tr.PruneCCP(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 || tr.Root.Leaf {
+		t.Fatalf("perfect tree was pruned (removed=%d)", removed)
+	}
+}
+
+func TestPruneCCPErrors(t *testing.T) {
+	tr := overfitTree()
+	if _, err := tr.PruneCCP(nil); err == nil {
+		t.Fatal("nil validation table accepted")
+	}
+	empty := dataset.NewTable(testSchema(), 0)
+	if _, err := tr.PruneCCP(empty); err == nil {
+		t.Fatal("empty validation table accepted")
+	}
+	other := &dataset.Schema{
+		Attrs:   []dataset.Attribute{{Name: "z", Kind: dataset.Continuous}},
+		Classes: []string{"A", "B"},
+	}
+	if _, err := tr.PruneCCP(dataset.NewTable(other, 0)); err == nil {
+		t.Fatal("incompatible schema accepted")
+	}
+}
+
+func TestPruneCCPDeterministic(t *testing.T) {
+	val := validationTable(t)
+	a, b := overfitTree(), overfitTree()
+	if _, err := a.PruneCCP(val); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PruneCCP(val); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("CCP pruning not deterministic")
+	}
+}
+
+func TestWeakestLinkOrder(t *testing.T) {
+	// The noise split (no error reduction, g = 0) must be weaker than the
+	// real split (large error reduction).
+	tr := overfitTree()
+	w := findWeakestLink(tr.Root)
+	if w != tr.Root.Children[0] {
+		t.Fatal("weakest link should be the noise-fitting sub-split")
+	}
+}

@@ -1,0 +1,76 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// DOT writes the tree in Graphviz dot format, for rendering with
+// `dot -Tsvg`. Internal nodes show their decision and gini; leaves show
+// their class and histogram; edges carry the branch condition.
+func (t *Tree) DOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph tree {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, `  node [shape=box, fontname="Helvetica"];`); err != nil {
+		return err
+	}
+	id := 0
+	if err := t.dotNode(w, t.Root, &id); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// dotNode emits the node and its subtree; *id is the next free node id.
+func (t *Tree) dotNode(w io.Writer, n *Node, id *int) error {
+	me := *id
+	*id++
+	var label string
+	if n.Leaf {
+		label = fmt.Sprintf("%s\\n%v", t.Schema.Classes[n.Label], n.Hist)
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\", style=filled, fillcolor=lightgrey];\n", me, escapeDOT(label)); err != nil {
+			return err
+		}
+		return nil
+	}
+	attr := t.Schema.Attrs[n.Attr]
+	switch {
+	case n.Kind == dataset.Continuous:
+		label = fmt.Sprintf("%s <= %g", attr.Name, n.Threshold)
+	case n.Subset != nil:
+		var in []string
+		for v, ok := range n.Subset {
+			if ok {
+				in = append(in, attr.Values[v])
+			}
+		}
+		label = fmt.Sprintf("%s in {%s}", attr.Name, strings.Join(in, ","))
+	default:
+		label = attr.Name
+	}
+	label += fmt.Sprintf("\\ngini %.4f", n.Gini)
+	if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"];\n", me, escapeDOT(label)); err != nil {
+		return err
+	}
+	for i, ch := range n.Children {
+		childID := *id
+		if err := t.dotNode(w, ch, id); err != nil {
+			return err
+		}
+		edge := edgeLabel(n, attr, i)
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%s\"];\n", me, childID, escapeDOT(edge)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeDOT escapes double quotes for dot string literals.
+func escapeDOT(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

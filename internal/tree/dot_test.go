@@ -1,0 +1,61 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDOTStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testTree().DOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph tree {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	// 6 nodes, 5 edges.
+	if got := strings.Count(out, "[label="); got != 6+5 {
+		t.Fatalf("labels: %d, want 11 (6 nodes + 5 edges)", got)
+	}
+	if got := strings.Count(out, "->"); got != 5 {
+		t.Fatalf("edges: %d, want 5", got)
+	}
+	for _, want := range []string{"salary <= 50", "gini", "yes", "no", "college", "fillcolor=lightgrey"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestDOTSubsetSplitAndEscaping(t *testing.T) {
+	tr := &Tree{
+		Schema: testSchema(),
+		Root: &Node{
+			Hist: []int64{1, 1},
+			Attr: 1, Kind: 1, // categorical
+			Subset: []bool{true, false, true},
+			Children: []*Node{
+				{Leaf: true, Label: 0, Hist: []int64{1, 0}},
+				{Leaf: true, Label: 1, Hist: []int64{0, 1}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.DOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "elevel in {none,college}") {
+		t.Fatalf("subset label missing:\n%s", buf.String())
+	}
+	if strings.Contains(strings.ReplaceAll(buf.String(), `\"`, ""), `""`) {
+		t.Fatal("unescaped quotes in DOT output")
+	}
+}
+
+func TestEscapeDOT(t *testing.T) {
+	if escapeDOT(`a"b`) != `a\"b` {
+		t.Fatal("escape wrong")
+	}
+}

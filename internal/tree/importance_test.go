@@ -1,0 +1,80 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestImportanceSingleLeaf(t *testing.T) {
+	tr := &Tree{
+		Schema: testSchema(),
+		Root:   &Node{Leaf: true, Label: 0, Hist: []int64{5, 0}},
+	}
+	for _, v := range tr.Importance() {
+		if v != 0 {
+			t.Fatal("leaf-only tree should have zero importance everywhere")
+		}
+	}
+}
+
+func TestImportanceNormalisedAndOrdered(t *testing.T) {
+	// Root split on attr 0 removes all impurity on the left and most of
+	// it overall; the sub-split on attr 1 cleans up the rest. Attr 0 must
+	// dominate.
+	tr := &Tree{
+		Schema: testSchema(),
+		Root: &Node{
+			Hist: []int64{50, 50},
+			Attr: 0, Kind: dataset.Continuous, Threshold: 10, Gini: 0.18,
+			Children: []*Node{
+				{Leaf: true, Label: 0, Hist: []int64{50, 10}},
+				{
+					Hist: []int64{0, 40},
+					Attr: 1, Kind: dataset.Categorical, Gini: 0,
+					Children: []*Node{
+						{Leaf: true, Label: 1, Hist: []int64{0, 20}},
+						{Leaf: true, Label: 1, Hist: []int64{0, 10}},
+						{Leaf: true, Label: 1, Hist: []int64{0, 10}},
+					},
+				},
+			},
+		},
+	}
+	imp := tr.Importance()
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("negative importance")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+	if imp[0] <= imp[1] {
+		t.Fatalf("attr 0 should dominate: %v", imp)
+	}
+	// The pure sub-split contributes nothing (its node is already pure).
+	if imp[1] != 0 {
+		t.Fatalf("pure-node split should add no importance, got %v", imp[1])
+	}
+	top := tr.TopAttributes(0)
+	if top[0] != 0 {
+		t.Fatalf("TopAttributes order: %v", top)
+	}
+	if got := tr.TopAttributes(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("TopAttributes(1): %v", got)
+	}
+}
+
+func TestImportanceFindsTheGeneratingAttribute(t *testing.T) {
+	// The test tree from tree_test.go splits on salary at the root over
+	// most of the mass.
+	tr := testTree()
+	imp := tr.Importance()
+	if imp[0] <= imp[1] {
+		t.Fatalf("salary should outrank elevel: %v", imp)
+	}
+}

@@ -1,0 +1,62 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Encode writes the tree as indented JSON.
+func (t *Tree) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("tree: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a tree in Encode's format and validates its basic shape.
+func Decode(r io.Reader) (*Tree, error) {
+	var t Tree
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("tree: decoding JSON: %w", err)
+	}
+	if t.Schema == nil || t.Root == nil {
+		return nil, fmt.Errorf("tree: decoded JSON missing schema or root")
+	}
+	if err := t.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("tree: decoded schema invalid: %w", err)
+	}
+	if err := validateNode(t.Root, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+func validateNode(n *Node, t *Tree) error {
+	if len(n.Hist) != t.Schema.NumClasses() {
+		return fmt.Errorf("tree: node histogram has %d classes; schema has %d", len(n.Hist), t.Schema.NumClasses())
+	}
+	if n.Leaf {
+		if n.Label < 0 || n.Label >= t.Schema.NumClasses() {
+			return fmt.Errorf("tree: leaf label %d out of range", n.Label)
+		}
+		if len(n.Children) != 0 {
+			return fmt.Errorf("tree: leaf has children")
+		}
+		return nil
+	}
+	if n.Attr < 0 || n.Attr >= t.Schema.NumAttrs() {
+		return fmt.Errorf("tree: split attribute %d out of range", n.Attr)
+	}
+	if len(n.Children) < 2 {
+		return fmt.Errorf("tree: internal node has %d children", len(n.Children))
+	}
+	for _, ch := range n.Children {
+		if err := validateNode(ch, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package tree defines the decision-tree model produced by the classifiers:
+// internal nodes carrying a splitting decision, leaves carrying a class
+// label, plus prediction, inspection, serialization, and (as an extension
+// beyond the paper's induction step) pessimistic post-pruning.
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Node is one node of a decision tree. Exported fields make the tree
+// directly JSON-serializable.
+type Node struct {
+	// Leaf marks a terminal node; Label is then its class index.
+	Leaf  bool `json:"leaf"`
+	Label int  `json:"label"`
+	// Hist is the training-set class histogram of the records that
+	// reached this node.
+	Hist []int64 `json:"hist"`
+
+	// Split decision (internal nodes only).
+	//
+	// Continuous attribute: records with value <= Threshold descend to
+	// Children[0], the rest to Children[1].
+	// Categorical m-way: records with domain value v descend to
+	// Children[v].
+	// Categorical binary subset (the paper's footnote-1 variant):
+	// records whose value v has Subset[v] true descend to Children[0],
+	// the rest to Children[1].
+	Attr      int          `json:"attr,omitempty"`
+	Kind      dataset.Kind `json:"kind,omitempty"`
+	Threshold float64      `json:"threshold,omitempty"`
+	Subset    []bool       `json:"subset,omitempty"`
+	Gini      float64      `json:"gini,omitempty"`
+	Children  []*Node      `json:"children,omitempty"`
+}
+
+// Tree is a complete decision tree plus the schema it classifies.
+type Tree struct {
+	Schema *dataset.Schema `json:"schema"`
+	Root   *Node           `json:"root"`
+}
+
+// Predict returns the class index for a row in the dataset.Table value
+// convention (categorical attributes as domain indices).
+func (t *Tree) Predict(row []float64) int {
+	n := t.Root
+	for !n.Leaf {
+		n = n.Children[n.childFor(row[n.Attr])]
+	}
+	return n.Label
+}
+
+// PredictTable classifies every row of a table and returns the labels.
+func (t *Tree) PredictTable(tab *dataset.Table) []int {
+	out := make([]int, tab.NumRows())
+	row := make([]float64, tab.Schema.NumAttrs())
+	for r := range out {
+		for a := range row {
+			row[a] = tab.Value(a, r)
+		}
+		out[r] = t.Predict(row)
+	}
+	return out
+}
+
+// childFor returns the child index a value descends to.
+func (n *Node) childFor(v float64) int {
+	switch {
+	case n.Kind == dataset.Continuous:
+		if v <= n.Threshold {
+			return 0
+		}
+		return 1
+	case n.Subset != nil:
+		iv := int(v)
+		if iv >= 0 && iv < len(n.Subset) && n.Subset[iv] {
+			return 0
+		}
+		return 1
+	default:
+		iv := int(v)
+		if iv < 0 || iv >= len(n.Children) {
+			// Unseen categorical value: fall back to the first child;
+			// training guarantees in-domain values, prediction may not.
+			return 0
+		}
+		return iv
+	}
+}
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return t.Root.count(func(*Node) bool { return true }) }
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int { return t.Root.count(func(n *Node) bool { return n.Leaf }) }
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func (t *Tree) Depth() int { return t.Root.depth() }
+
+func (n *Node) count(pred func(*Node) bool) int {
+	c := 0
+	if pred(n) {
+		c = 1
+	}
+	for _, ch := range n.Children {
+		c += ch.count(pred)
+	}
+	return c
+}
+
+func (n *Node) depth() int {
+	d := 0
+	for _, ch := range n.Children {
+		if cd := ch.depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Size returns the number of training records that reached the node.
+func (n *Node) Size() int64 {
+	var s int64
+	for _, c := range n.Hist {
+		s += c
+	}
+	return s
+}
+
+// Equal reports whether two trees have identical structure and decisions.
+// It is the oracle check used to verify that ScalParC on any number of
+// processors produces exactly the serial classifier's tree.
+func (t *Tree) Equal(o *Tree) bool { return nodeEqual(t.Root, o.Root) }
+
+func nodeEqual(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Leaf != b.Leaf {
+		return false
+	}
+	if len(a.Hist) != len(b.Hist) {
+		return false
+	}
+	for i := range a.Hist {
+		if a.Hist[i] != b.Hist[i] {
+			return false
+		}
+	}
+	if a.Leaf {
+		return a.Label == b.Label
+	}
+	if a.Attr != b.Attr || a.Kind != b.Kind || a.Threshold != b.Threshold {
+		return false
+	}
+	if len(a.Subset) != len(b.Subset) {
+		return false
+	}
+	for i := range a.Subset {
+		if a.Subset[i] != b.Subset[i] {
+			return false
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !nodeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Dump writes a readable rendering of the tree.
+func (t *Tree) Dump(w io.Writer) error {
+	return t.dumpNode(w, t.Root, 0, "")
+}
+
+func (t *Tree) dumpNode(w io.Writer, n *Node, depth int, edge string) error {
+	indent := strings.Repeat("  ", depth)
+	if edge != "" {
+		edge += " -> "
+	}
+	if n.Leaf {
+		_, err := fmt.Fprintf(w, "%s%sleaf %s %v\n", indent, edge, t.Schema.Classes[n.Label], n.Hist)
+		return err
+	}
+	attr := t.Schema.Attrs[n.Attr]
+	var desc string
+	switch {
+	case n.Kind == dataset.Continuous:
+		desc = fmt.Sprintf("%s <= %g", attr.Name, n.Threshold)
+	case n.Subset != nil:
+		var in []string
+		for v, ok := range n.Subset {
+			if ok {
+				in = append(in, attr.Values[v])
+			}
+		}
+		desc = fmt.Sprintf("%s in {%s}", attr.Name, strings.Join(in, ","))
+	default:
+		desc = fmt.Sprintf("%s = ?", attr.Name)
+	}
+	if _, err := fmt.Fprintf(w, "%s%ssplit %s (gini %.4f) %v\n", indent, edge, desc, n.Gini, n.Hist); err != nil {
+		return err
+	}
+	for i, ch := range n.Children {
+		label := edgeLabel(n, attr, i)
+		if err := t.dumpNode(w, ch, depth+1, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func edgeLabel(n *Node, attr dataset.Attribute, i int) string {
+	switch {
+	case n.Kind == dataset.Continuous, n.Subset != nil:
+		if i == 0 {
+			return "yes"
+		}
+		return "no"
+	default:
+		return attr.Values[i]
+	}
+}
+
+// String renders the tree via Dump.
+func (t *Tree) String() string {
+	var b strings.Builder
+	if err := t.Dump(&b); err != nil {
+		return fmt.Sprintf("tree: dump failed: %v", err)
+	}
+	return b.String()
+}
