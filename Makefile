@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench cover experiments examples clean
+.PHONY: all build vet test bench race cover experiments examples clean
 
 all: build vet test
 
@@ -15,9 +15,15 @@ vet:
 test:
 	$(GO) test ./...
 
-# One testing.B benchmark per experiment in DESIGN.md's index.
+# One testing.B benchmark per experiment in DESIGN.md's index (repo
+# root), plus the per-package micro-benchmarks (e.g. internal/comm).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+
+# Race-detect the packages with real goroutine concurrency: the simulated
+# machine (one goroutine per rank) and the engine driving it.
+race:
+	$(GO) test -race ./internal/comm ./internal/scalparc
 
 cover:
 	$(GO) test -cover ./...

@@ -32,6 +32,7 @@ import (
 	"repro/internal/splitter"
 	"repro/internal/sprint"
 	"repro/internal/timing"
+	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -145,6 +146,10 @@ type Metrics struct {
 	BytesSent, BytesRecv int64
 	// PrunedNodes counts internal nodes collapsed by pruning.
 	PrunedNodes int
+	// Trace breaks the modeled runtime and communication down by the
+	// paper's four induction phases (plus presort), per processor and
+	// tree level. Nil for Serial; SLIQ reports a one-rank modeled trace.
+	Trace *trace.Trace
 }
 
 // Model is a trained classifier.
@@ -174,7 +179,7 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 		if cfg.Algorithm == Serial {
 			t, err = serial.Train(tab, cfg.splitterConfig())
 		} else {
-			t, err = sliq.Train(tab, cfg.splitterConfig())
+			t, m.Metrics.Trace, m.Metrics.ModeledSeconds, err = sliq.TrainTraced(tab, cfg.splitterConfig(), cfg.machine())
 		}
 		if err != nil {
 			return nil, err
@@ -200,6 +205,7 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 		m.Metrics.PresortModeledSeconds = res.PresortModeledSeconds
 		m.Metrics.WallSeconds = res.WallSeconds
 		m.Metrics.PeakMemoryPerRank = res.PeakMemoryPerRank
+		m.Metrics.Trace = res.Trace
 		for _, s := range res.Stats {
 			m.Metrics.BytesSent += s.BytesSent
 			m.Metrics.BytesRecv += s.BytesRecv

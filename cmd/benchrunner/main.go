@@ -30,11 +30,12 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, blocks, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
 	maxDepth := fs.Int("depth", 0, "maximum tree depth (0 = unlimited)")
+	traceOut := fs.String("trace", "", "write the phases experiment's per-rank timelines as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,6 +145,24 @@ func run(args []string, out io.Writer) error {
 	if all || want["weak"] {
 		base := int(float64(bench.PaperSizes[0]) * *scale / 4)
 		if err := bench.WeakScaling(out, base, []int{2, 4, 8, 16, 32, 64}, *function, *seed, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["phases"] {
+		n := int(float64(bench.PaperSizes[2]) * *scale)
+		if err := bench.Phases(out, n, 16, *function, *seed, *maxDepth, machine, *traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["phasecmp"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		if err := bench.PhaseCmp(out, n, 8, *function, *seed, machine); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,5 +80,34 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunPhaseExperiments(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-exp", "phases,phasecmp", "-scale", "0.002", "-trace", tracePath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"EXP-PHASES", "phase breakdown", "CMP-PHASES", "sliq (serial)", "wrote Chrome trace"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
 	}
 }

@@ -91,6 +91,8 @@ func run(args []string, stdout io.Writer) error {
 	importance := fs.Bool("importance", false, "print gini attribute importance")
 	jsonOut := fs.String("json-out", "", "write the tree as JSON to this file")
 	dotOut := fs.String("dot-out", "", "write the tree as Graphviz dot to this file")
+	phases := fs.Bool("phases", false, "print the per-phase/per-level breakdown of the modeled runtime")
+	traceOut := fs.String("trace", "", "write per-rank virtual timelines as Chrome trace-event JSON to this file")
 
 	schemaPath := fs.String("schema", "", "JSON schema file (with -train)")
 	trainPath := fs.String("train", "", "training CSV file")
@@ -206,6 +208,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *prune {
 		fmt.Fprintf(stdout, "pruned %d internal nodes\n", mm.PrunedNodes)
+	}
+	if *phases || *traceOut != "" {
+		if mm.Trace == nil {
+			return fmt.Errorf("algorithm %s records no phase trace", mm.Algorithm)
+		}
+		mm.Trace.WriteText(stdout)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := mm.Trace.WriteChrome(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote Chrome trace to %s\n", *traceOut)
+		}
 	}
 
 	trainEval, err := classify.Evaluate(model.Tree, train)

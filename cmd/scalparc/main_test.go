@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -206,5 +207,67 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-train", "x.csv"}, &out); err == nil {
 		t.Fatal("-train without -schema accepted")
+	}
+}
+
+func TestRunPhasesAndTraceOutput(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "2", "-records", "2000", "-procs", "4", "-seed", "7",
+		"-phases", "-trace", tracePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"phase breakdown", "phase total", "FindSplitI", "PerformSplitII", "wrote Chrome trace"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	ranks := map[any]bool{}
+	complete := 0
+	for _, e := range decoded.TraceEvents {
+		if e["ph"] == "X" {
+			complete++
+			ranks[e["tid"]] = true
+		}
+	}
+	if complete == 0 {
+		t.Fatal("trace file has no complete events")
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("trace covers %d ranks, want 4", len(ranks))
+	}
+}
+
+func TestRunPhasesSliq(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-quest-function", "1", "-records", "500", "-algo", "sliq", "-phases"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "phase breakdown") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunPhasesSerialRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-quest-function", "1", "-records", "500", "-algo", "serial", "-phases"}, &out)
+	if err == nil {
+		t.Fatal("serial has no trace; -phases must be rejected")
 	}
 }

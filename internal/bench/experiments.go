@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"text/tabwriter"
 
 	"repro/classify"
@@ -13,8 +14,11 @@ import (
 	"repro/internal/nodetable"
 	"repro/internal/scalparc"
 	"repro/internal/serial"
+	"repro/internal/sliq"
 	"repro/internal/splitter"
+	"repro/internal/sprint"
 	"repro/internal/timing"
+	"repro/internal/trace"
 )
 
 // human formats a record count the way the paper's figure legend does.
@@ -427,4 +431,95 @@ func Micro(w io.Writer, machine timing.Model) {
 			o.f(16, 1024)*1e6, o.f(128, 1024)*1e6, o.f(128, 1<<20)*1e3)
 	}
 	tw.Flush()
+}
+
+// Phases prints the per-phase/per-level breakdown of one ScalParC run:
+// where every modeled second and every byte of the section 5 totals goes,
+// by the paper's four phases and tree level. If traceOut is non-empty the
+// per-rank virtual timelines are also written there as Chrome trace-event
+// JSON.
+func Phases(w io.Writer, n, p int, function int, seed int64, maxDepth int, machine timing.Model, traceOut string) error {
+	fmt.Fprintf(w, "EXP-PHASES — per-phase breakdown (%s records, %d processors)\n", human(n), p)
+	tab, err := datagen.Generate(datagen.Config{
+		Function: function, Attrs: datagen.Seven, Seed: seed,
+	}, n)
+	if err != nil {
+		return err
+	}
+	world := comm.NewWorld(p, machine)
+	res, err := scalparc.Train(world, tab, splitter.Config{MaxDepth: maxDepth})
+	if err != nil {
+		return err
+	}
+	res.Trace.WriteText(w)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote Chrome trace to %s\n", traceOut)
+	}
+	return nil
+}
+
+// PhaseCmp compares where the modeled time goes across the three
+// classifiers: ScalParC, parallel SPRINT (same engine, replicated record
+// map), and serial SLIQ (one-rank modeled trace). Times are each run's
+// critical rank; the column totals are each run's modeled runtime.
+func PhaseCmp(w io.Writer, n, p int, function int, seed int64, machine timing.Model) error {
+	fmt.Fprintf(w, "CMP-PHASES — critical-rank seconds per phase (%s records, %d processors)\n", human(n), p)
+	tab, err := datagen.Generate(datagen.Config{
+		Function: function, Attrs: datagen.Seven, Seed: seed,
+	}, n)
+	if err != nil {
+		return err
+	}
+	traces := make([]*trace.Trace, 0, 3)
+	names := []string{"scalparc", "sprint", "sliq (serial)"}
+
+	scRes, err := scalparc.Train(comm.NewWorld(p, machine), tab, splitter.Config{})
+	if err != nil {
+		return err
+	}
+	traces = append(traces, scRes.Trace)
+	spRes, err := sprint.Train(comm.NewWorld(p, machine), tab, splitter.Config{})
+	if err != nil {
+		return err
+	}
+	traces = append(traces, spRes.Trace)
+	_, slTrace, _, err := sliq.TrainTraced(tab, splitter.Config{}, machine)
+	if err != nil {
+		return err
+	}
+	traces = append(traces, slTrace)
+
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "phase")
+	for _, name := range names {
+		fmt.Fprintf(tw, "\t%s", name)
+	}
+	fmt.Fprintln(tw)
+	order := []trace.Phase{trace.Sort, trace.FindSplitI, trace.FindSplitII, trace.PerformSplitI, trace.PerformSplitII, trace.Other}
+	for _, ph := range order {
+		fmt.Fprintf(tw, "%s", ph)
+		for _, tr := range traces {
+			crit := tr.Ranks[tr.CriticalRank()].PhasePicos()
+			fmt.Fprintf(tw, "\t%.3fs", float64(crit[ph])/1e12)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "total")
+	for _, tr := range traces {
+		fmt.Fprintf(tw, "\t%.3fs", tr.TotalSeconds())
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+	return nil
 }

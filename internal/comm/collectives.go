@@ -12,6 +12,15 @@ func sizeOf[T any]() int {
 	return int(unsafe.Sizeof(t))
 }
 
+// a2aPayload carries a rank's send matrix through the deposit together
+// with its own-sent byte total, so no receiver has to re-walk every other
+// rank's p buffer headers just to recover a number the sender already
+// knew — that re-walk made the accounting pass O(p²) per rank per call.
+type a2aPayload[T any] struct {
+	mat  [][]T
+	sent int // bytes destined for other ranks
+}
+
 // AllToAll performs one step of all-to-all personalized communication:
 // every rank provides one buffer per destination (send[d] goes to rank d)
 // and receives one buffer per source (recv[s] came from rank s). Buffers
@@ -25,34 +34,32 @@ func AllToAll[T any](c *Comm, send [][]T) [][]T {
 		panic(fmt.Sprintf("comm: AllToAll send has %d buffers; world has %d ranks", len(send), p))
 	}
 	es := sizeOf[T]()
-	all := c.exchange(send)
-
 	me := c.Rank()
+	own := 0
+	for d, buf := range send {
+		if d != me {
+			own += len(buf) * es
+		}
+	}
+	all := c.exchange(a2aPayload[T]{mat: send, sent: own})
+
 	recv := make([][]T, p)
-	sentBytes, recvBytes, maxSent := 0, 0, 0
+	recvBytes, maxSent := 0, 0
 	for r := 0; r < p; r++ {
-		mat := all[r].data.([][]T)
-		recv[r] = mat[me]
-		tot := 0
-		for d, buf := range mat {
-			if d != r {
-				tot += len(buf) * es
-			}
-		}
-		if tot > maxSent {
-			maxSent = tot
-		}
-		if r == me {
-			sentBytes = tot
+		pl := all[r].data.(a2aPayload[T])
+		recv[r] = pl.mat[me]
+		if pl.sent > maxSent {
+			maxSent = pl.sent
 		}
 		if r != me {
-			recvBytes += len(mat[me]) * es
+			recvBytes += len(pl.mat[me]) * es
 		}
 	}
 	st := c.Stats()
-	st.BytesSent += int64(sentBytes)
+	st.BytesSent += int64(own)
 	st.BytesRecv += int64(recvBytes)
 	st.AllToAlls++
+	c.traceComm(int64(own), int64(recvBytes))
 	c.Compute(c.Model().AllToAll(p, maxSent))
 	return recv
 }
@@ -86,6 +93,7 @@ func AllReduce[T any](c *Comm, x []T, op func(a, b T) T) []T {
 	st.BytesSent += bytes
 	st.BytesRecv += bytes
 	st.AllReduces++
+	c.traceComm(bytes, bytes)
 	c.Compute(c.Model().AllReduce(p, n*es))
 	return out
 }
@@ -124,6 +132,7 @@ func ExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
 	st.BytesSent += bytes
 	st.BytesRecv += bytes
 	st.Scans++
+	c.traceComm(bytes, bytes)
 	c.Compute(c.Model().Scan(p, n*es))
 	return out
 }
@@ -161,6 +170,7 @@ func ReverseExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
 	st.BytesSent += bytes
 	st.BytesRecv += bytes
 	st.Scans++
+	c.traceComm(bytes, bytes)
 	c.Compute(c.Model().Scan(p, n*es))
 	return out
 }
@@ -187,6 +197,7 @@ func Allgather[T any](c *Comm, x []T) [][]T {
 	st.BytesSent += int64((p - 1) * len(x) * es)
 	st.BytesRecv += int64(recvBytes)
 	st.Allgathers++
+	c.traceComm(int64((p-1)*len(x)*es), int64(recvBytes))
 	c.Compute(c.Model().Allgather(p, maxEach))
 	return out
 }
@@ -222,9 +233,11 @@ func Reduce[T any](c *Comm, root int, x []T, op func(a, b T) T) []T {
 	c.Compute(c.Model().Reduce(p, n*es))
 	if c.Rank() != root {
 		st.BytesSent += int64(n * es)
+		c.traceComm(int64(n*es), 0)
 		return nil
 	}
 	st.BytesRecv += int64((p - 1) * n * es)
+	c.traceComm(0, int64((p-1)*n*es))
 	out := make([]T, n)
 	first := true
 	for r := 0; r < p; r++ {
@@ -267,8 +280,10 @@ func Bcast[T any](c *Comm, root int, x []T) []T {
 	st.Bcasts++
 	if c.Rank() == root {
 		st.BytesSent += int64((p - 1) * len(out) * es)
+		c.traceComm(int64((p-1)*len(out)*es), 0)
 	} else {
 		st.BytesRecv += int64(len(out) * es)
+		c.traceComm(0, int64(len(out)*es))
 	}
 	c.Compute(c.Model().Bcast(p, len(out)*es))
 	return out
@@ -288,6 +303,7 @@ func Gather[T any](c *Comm, root int, x []T) [][]T {
 	c.Compute(c.Model().Reduce(p, len(x)*es))
 	if c.Rank() != root {
 		st.BytesSent += int64(len(x) * es)
+		c.traceComm(int64(len(x)*es), 0)
 		return nil
 	}
 	out := make([][]T, p)
@@ -299,5 +315,6 @@ func Gather[T any](c *Comm, root int, x []T) [][]T {
 		}
 	}
 	st.BytesRecv += int64(recvBytes)
+	c.traceComm(0, int64(recvBytes))
 	return out
 }

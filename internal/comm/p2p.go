@@ -17,13 +17,14 @@ func Send[T any](c *Comm, dst int, x []T) {
 	st := c.Stats()
 	st.BytesSent += int64(bytes)
 	st.MsgsSent++
+	c.traceComm(int64(bytes), 0)
 	// Copy the buffer, as a real eager send does: the caller is free to
 	// mutate x the moment Send returns.
 	buf := make([]T, len(x))
 	copy(buf, x)
 	// The sender pays the startup latency and hands the data off.
 	c.Compute(c.Model().P2PLatency)
-	c.w.mail[c.Rank()][dst] <- pmessage{data: buf, bytes: bytes, clock: c.Clock()}
+	c.w.mail[c.Rank()][dst] <- pmessage{data: buf, bytes: bytes, clock: c.ClockPicos()}
 }
 
 // Recv receives the next vector sent by rank src. It blocks until a message
@@ -45,11 +46,12 @@ func Recv[T any](c *Comm, src int) []T {
 	st := c.Stats()
 	st.BytesRecv += int64(m.bytes)
 	st.MsgsRecv++
-	start := c.Clock()
+	c.traceComm(0, int64(m.bytes))
+	start := c.ClockPicos()
 	if m.clock > start {
 		start = m.clock
 	}
-	c.w.clocks[c.Rank()] = start + float64(m.bytes)/c.Model().P2PBandwidth
+	c.advanceTo(start + picos(float64(m.bytes)/c.Model().P2PBandwidth))
 	return x
 }
 

@@ -1,0 +1,242 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+// a2aOracleStats recomputes the AllToAll byte accounting the slow way the
+// implementation used to: walking every rank's full send matrix. It is the
+// regression oracle for the single-pass payload-carried accounting.
+func a2aOracleStats(send [][][]int64, es int) (sent, recv []int64, maxSent int) {
+	p := len(send)
+	sent = make([]int64, p)
+	recv = make([]int64, p)
+	for me := 0; me < p; me++ {
+		for d, buf := range send[me] {
+			if d != me {
+				sent[me] += int64(len(buf) * es)
+			}
+		}
+		for r := 0; r < p; r++ {
+			if r != me {
+				recv[me] += int64(len(send[r][me]) * es)
+			}
+		}
+	}
+	for me := 0; me < p; me++ {
+		if s := int(sent[me]); s > maxSent {
+			maxSent = s
+		}
+	}
+	return sent, recv, maxSent
+}
+
+func TestAllToAllStatsMatchOracle(t *testing.T) {
+	for _, p := range testSizes() {
+		// Deterministic, deliberately lopsided buffer lengths so the
+		// max-sent rank and the max-recv rank differ.
+		send := make([][][]int64, p)
+		for me := 0; me < p; me++ {
+			send[me] = make([][]int64, p)
+			for d := 0; d < p; d++ {
+				n := (me*3 + d*7) % 11
+				buf := make([]int64, n)
+				for i := range buf {
+					buf[i] = int64(me*1000 + d*100 + i)
+				}
+				send[me][d] = buf
+			}
+		}
+		wantSent, wantRecv, wantMax := a2aOracleStats(send, sizeOf[int64]())
+
+		w := NewWorld(p, timing.T3D())
+		w.Run(func(c *Comm) {
+			AllToAll(c, send[c.Rank()])
+		})
+		stats := w.Stats()
+		for r := 0; r < p; r++ {
+			if stats[r].BytesSent != wantSent[r] {
+				t.Fatalf("p=%d rank %d: BytesSent=%d, oracle says %d", p, r, stats[r].BytesSent, wantSent[r])
+			}
+			if stats[r].BytesRecv != wantRecv[r] {
+				t.Fatalf("p=%d rank %d: BytesRecv=%d, oracle says %d", p, r, stats[r].BytesRecv, wantRecv[r])
+			}
+		}
+		// The modeled time must still be driven by the global max-sent
+		// volume (the old accounting pass recomputed it on every rank).
+		wantClock := picos(timing.T3D().AllToAll(p, wantMax))
+		for r := 0; r < p; r++ {
+			if got := w.Trace().FinalPicos[r]; got != wantClock {
+				t.Fatalf("p=%d rank %d: clock %d picos, want %d (model on maxSent=%d)", p, r, got, wantClock, wantMax)
+			}
+		}
+	}
+}
+
+// mixedWorkload exercises every collective plus point-to-point under
+// rotating phase tags, so conservation tests see all the code paths.
+func mixedWorkload(c *Comm) {
+	p := c.Size()
+	me := c.Rank()
+
+	c.SetPhase(trace.Sort, 0)
+	c.Compute(1e-6 * float64(me+1))
+	send := make([][]int64, p)
+	for d := 0; d < p; d++ {
+		send[d] = make([]int64, (me+d)%3+1)
+	}
+	AllToAll(c, send)
+
+	c.SetPhase(trace.FindSplitI, 0)
+	ExScanSum(c, []int64{int64(me), 2})
+	ReverseExScan(c, []int64{int64(me)}, func(a, b int64) int64 { return a + b }, 0)
+	AllReduceSum(c, []int64{1, 2, 3})
+
+	c.SetPhase(trace.FindSplitII, 1)
+	Allgather(c, make([]float64, me+1))
+	Reduce(c, 0, []float64{float64(me)}, func(a, b float64) float64 { return a + b })
+	Bcast(c, 0, []int32{1, 2, 3, 4})
+
+	c.SetPhase(trace.PerformSplitI, 1)
+	Gather(c, p-1, make([]byte, 5*(me+1)))
+	if p > 1 {
+		partner := me ^ 1
+		if partner < p {
+			SendRecv(c, partner, []int64{int64(me)})
+		}
+	}
+
+	c.SetPhase(trace.PerformSplitII, 2)
+	c.Compute(3e-7)
+	c.Barrier()
+}
+
+func TestTraceConservesClockAndBytes(t *testing.T) {
+	for _, p := range testSizes() {
+		w := NewWorld(p, timing.T3D())
+		for round := 0; round < 3; round++ {
+			w.Run(mixedWorkload)
+		}
+		tr := w.Trace()
+		stats := w.Stats()
+		for r := 0; r < p; r++ {
+			// Exact conservation: the per-bucket attributed times sum to
+			// the rank's final clock, integer picosecond for picosecond.
+			if got, want := tr.Ranks[r].TotalPicos(), tr.FinalPicos[r]; got != want {
+				t.Fatalf("p=%d rank %d: bucket times sum to %d picos, clock is %d", p, r, got, want)
+			}
+			var sent, recv int64
+			for _, b := range tr.Ranks[r].Buckets() {
+				sent += b.BytesSent
+				recv += b.BytesRecv
+			}
+			if sent != stats[r].BytesSent {
+				t.Fatalf("p=%d rank %d: per-phase sent %d, stats say %d", p, r, sent, stats[r].BytesSent)
+			}
+			if recv != stats[r].BytesRecv {
+				t.Fatalf("p=%d rank %d: per-phase recv %d, stats say %d", p, r, recv, stats[r].BytesRecv)
+			}
+		}
+		if got, want := tr.TotalPicos(), w.MaxClockPicos(); got != want {
+			t.Fatalf("p=%d: trace total %d picos, world max clock %d", p, got, want)
+		}
+	}
+}
+
+func TestTraceSpansTileEachRankTimeline(t *testing.T) {
+	w := NewWorld(4, timing.T3D())
+	w.Run(mixedWorkload)
+	tr := w.Trace()
+	for r, rt := range tr.Ranks {
+		spans := rt.Spans()
+		if len(spans) == 0 {
+			t.Fatalf("rank %d recorded no spans", r)
+		}
+		if spans[0].StartPicos != 0 {
+			t.Fatalf("rank %d: first span starts at %d, want 0", r, spans[0].StartPicos)
+		}
+		for i := 1; i < len(spans); i++ {
+			if spans[i].StartPicos != spans[i-1].EndPicos {
+				t.Fatalf("rank %d: gap between spans %d and %d", r, i-1, i)
+			}
+		}
+		if last := spans[len(spans)-1].EndPicos; last != tr.FinalPicos[r] {
+			t.Fatalf("rank %d: last span ends at %d, clock is %d", r, last, tr.FinalPicos[r])
+		}
+	}
+}
+
+func TestResetClocksResetsTraceTimes(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	w.Run(mixedWorkload)
+	w.ResetClocks()
+	tr := w.Trace()
+	for r := 0; r < 2; r++ {
+		if tr.Ranks[r].TotalPicos() != 0 {
+			t.Fatalf("rank %d: trace times survived ResetClocks", r)
+		}
+		// Comm counters must survive a clock reset: stats were not reset.
+		var sent int64
+		for _, b := range tr.Ranks[r].Buckets() {
+			sent += b.BytesSent
+		}
+		if sent != w.Stats()[r].BytesSent {
+			t.Fatalf("rank %d: trace bytes %d diverged from stats %d after ResetClocks", r, sent, w.Stats()[r].BytesSent)
+		}
+	}
+}
+
+func TestResetStatsResetsTraceComm(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	w.Run(mixedWorkload)
+	w.ResetStats()
+	tr := w.Trace()
+	for r := 0; r < 2; r++ {
+		for _, b := range tr.Ranks[r].Buckets() {
+			if b.BytesSent != 0 || b.BytesRecv != 0 || b.Ops != 0 {
+				t.Fatalf("rank %d: trace comm counters survived ResetStats: %+v", r, b)
+			}
+		}
+		// Times must survive a stats reset.
+		if tr.Ranks[r].TotalPicos() != tr.FinalPicos[r] {
+			t.Fatalf("rank %d: trace times diverged from clock after ResetStats", r)
+		}
+	}
+}
+
+func BenchmarkAllToAll(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			w := NewWorld(p, timing.T3D())
+			send := make([][]int64, p)
+			for d := range send {
+				send[d] = make([]int64, 256)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(c *Comm) {
+					AllToAll(c, send)
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkAllReduceSum(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			w := NewWorld(p, timing.T3D())
+			x := make([]int64, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(c *Comm) {
+					AllReduceSum(c, x)
+				})
+			}
+		})
+	}
+}

@@ -17,13 +17,24 @@
 //     participating clocks to the maximum first (a rank cannot leave a
 //     collective before the slowest participant arrives). The maximum final
 //     clock is the modeled parallel runtime T_p, deterministic and
-//     independent of the host's core count.
+//     independent of the host's core count. Clocks are integer picoseconds
+//     internally: integer addition is associative, so regrouping the same
+//     advances by phase or level (see below) sums back to the total
+//     exactly, with ==, not a tolerance — float accumulation would drift
+//     by ulps depending on grouping order.
 //
 //   - Byte and memory accounting. Per-rank counters record bytes sent and
 //     received by every operation, and a memory meter records the peak of
 //     all tracked allocations (attribute lists, node table, communication
 //     buffers). These expose the O(N) vs O(N/p) distinction between
 //     parallel SPRINT and ScalParC directly.
+//
+//   - Phase attribution. Each rank carries a current (phase, level) tag
+//     (Comm.SetPhase); every clock advance, byte, and operation is
+//     deposited into the tagged trace bucket alongside the whole-run
+//     totals, so a run decomposes into the paper's Sort, FindSplitI/II,
+//     PerformSplitI/II phases (World.Trace). The per-phase times of any
+//     rank sum exactly to that rank's final clock.
 //
 // Element types transferred through the generic collectives must be "flat"
 // (no pointers, slices, or maps) so that unsafe.Sizeof gives their true
@@ -38,10 +49,22 @@ package comm
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/timing"
+	"repro/internal/trace"
 )
+
+// picosPerSecond is the virtual clock's resolution. Modeled costs arrive
+// from timing.Model as float seconds and are rounded to integer
+// picoseconds once, at the charge boundary; all accumulation is integer.
+const picosPerSecond = 1e12
+
+// picos converts modeled seconds to clock ticks.
+func picos(seconds float64) int64 {
+	return int64(math.Round(seconds * picosPerSecond))
+}
 
 // World is a simulated parallel machine with a fixed number of ranks.
 // Create one with NewWorld, then either call Run to execute an SPMD function
@@ -58,22 +81,23 @@ type World struct {
 	// protocol, so no additional locking is needed.
 	cells []deposit
 
-	clocks []float64
+	clocks []int64 // virtual time in picoseconds
 	stats  []Stats
 	mem    []MemMeter
+	traces []*trace.RankTrace
 
 	mail [][]chan pmessage // mail[src][dst]
 }
 
 type deposit struct {
 	data  any
-	clock float64
+	clock int64
 }
 
 type pmessage struct {
 	data  any
 	bytes int
-	clock float64
+	clock int64
 }
 
 // NewWorld creates a simulated machine with p ranks and the given cost
@@ -87,10 +111,14 @@ func NewWorld(p int, model timing.Model) *World {
 		model:  model,
 		bar:    newBarrier(p),
 		cells:  make([]deposit, p),
-		clocks: make([]float64, p),
+		clocks: make([]int64, p),
 		stats:  make([]Stats, p),
 		mem:    make([]MemMeter, p),
+		traces: make([]*trace.RankTrace, p),
 		mail:   make([][]chan pmessage, p),
+	}
+	for i := range w.traces {
+		w.traces[i] = trace.NewRank()
 	}
 	for i := range w.mail {
 		w.mail[i] = make([]chan pmessage, p)
@@ -131,11 +159,16 @@ func (w *World) Run(f func(c *Comm)) {
 	wg.Wait()
 }
 
-// MaxClock returns the maximum virtual clock over all ranks: the modeled
-// parallel runtime of everything executed so far. Call only while no SPMD
-// section is running.
+// MaxClock returns the maximum virtual clock over all ranks, in seconds:
+// the modeled parallel runtime of everything executed so far. Call only
+// while no SPMD section is running.
 func (w *World) MaxClock() float64 {
-	max := 0.0
+	return float64(w.MaxClockPicos()) / picosPerSecond
+}
+
+// MaxClockPicos is MaxClock in the clock's native integer picoseconds.
+func (w *World) MaxClockPicos() int64 {
+	var max int64
 	for _, c := range w.clocks {
 		if c > max {
 			max = c
@@ -144,12 +177,33 @@ func (w *World) MaxClock() float64 {
 	return max
 }
 
-// ResetClocks zeroes every rank's virtual clock. Call only while no SPMD
-// section is running.
+// ResetClocks zeroes every rank's virtual clock and the attributed times
+// of the phase traces (times and clocks must reset together, or the
+// "per-phase times sum to the clock" invariant would break). Call only
+// while no SPMD section is running.
 func (w *World) ResetClocks() {
 	for i := range w.clocks {
 		w.clocks[i] = 0
+		w.traces[i].ResetTimes()
 	}
+}
+
+// Trace returns a snapshot of the per-rank phase breakdown: deep copies
+// of every rank's trace with the timeline closed at the rank's current
+// clock, plus the final clocks. Call only while no SPMD section is
+// running.
+func (w *World) Trace() *trace.Trace {
+	t := &trace.Trace{
+		Ranks:      make([]*trace.RankTrace, w.p),
+		FinalPicos: make([]int64, w.p),
+	}
+	for r := 0; r < w.p; r++ {
+		rt := w.traces[r].Clone()
+		rt.Finish(w.clocks[r])
+		t.Ranks[r] = rt
+		t.FinalPicos[r] = w.clocks[r]
+	}
+	return t
 }
 
 // Stats returns a copy of the accumulated per-rank statistics. Call only
@@ -160,11 +214,13 @@ func (w *World) Stats() []Stats {
 	return out
 }
 
-// ResetStats zeroes the per-rank statistics. Call only while no SPMD
-// section is running.
+// ResetStats zeroes the per-rank statistics and the byte/operation
+// counters of the phase traces (they mirror the stats, so they reset
+// together). Call only while no SPMD section is running.
 func (w *World) ResetStats() {
 	for i := range w.stats {
 		w.stats[i] = Stats{}
+		w.traces[i].ResetComm()
 	}
 }
 
@@ -203,14 +259,51 @@ func (c *Comm) Size() int { return c.w.p }
 func (c *Comm) Model() timing.Model { return c.w.model }
 
 // Clock returns this rank's current virtual time in seconds.
-func (c *Comm) Clock() float64 { return c.w.clocks[c.rank] }
+func (c *Comm) Clock() float64 { return float64(c.w.clocks[c.rank]) / picosPerSecond }
+
+// ClockPicos returns this rank's current virtual time in the clock's
+// native integer picoseconds.
+func (c *Comm) ClockPicos() int64 { return c.w.clocks[c.rank] }
 
 // Compute advances this rank's virtual clock by the given number of modeled
 // seconds of local computation. Negative durations are ignored.
 func (c *Comm) Compute(seconds float64) {
 	if seconds > 0 {
-		c.w.clocks[c.rank] += seconds
+		c.advance(picos(seconds))
 	}
+}
+
+// advance moves this rank's clock forward by d picoseconds, attributing
+// the advance to the current (phase, level) bucket. Every clock mutation
+// in the package funnels through here, which is what makes the phase
+// breakdown exactly conservative.
+func (c *Comm) advance(d int64) {
+	if d <= 0 {
+		return
+	}
+	c.w.clocks[c.rank] += d
+	c.w.traces[c.rank].AddPicos(d)
+}
+
+// advanceTo moves this rank's clock forward to the given absolute tick
+// (no-op if the clock is already past it).
+func (c *Comm) advanceTo(target int64) {
+	c.advance(target - c.w.clocks[c.rank])
+}
+
+// SetPhase tags this rank's subsequent clock advances, bytes, and
+// operations with the given induction phase and tree level. The tag
+// persists until the next call; ranks start at (trace.Other, 0).
+func (c *Comm) SetPhase(p trace.Phase, level int) {
+	c.w.traces[c.rank].SetPhase(p, level, c.w.clocks[c.rank])
+}
+
+// traceComm attributes one communication operation's bytes to the current
+// (phase, level) bucket. Callers update the whole-run Stats themselves;
+// the two stay consistent because every Stats byte update is paired with
+// a traceComm call.
+func (c *Comm) traceComm(sent, recv int64) {
+	c.w.traces[c.rank].AddComm(sent, recv)
 }
 
 // Mem returns this rank's memory meter.
@@ -225,15 +318,16 @@ func (c *Comm) Barrier() {
 	w := c.w
 	w.cells[c.rank] = deposit{clock: w.clocks[c.rank]}
 	w.bar.await()
-	max := 0.0
+	var max int64
 	for r := 0; r < w.p; r++ {
 		if w.cells[r].clock > max {
 			max = w.cells[r].clock
 		}
 	}
 	w.bar.await()
-	w.clocks[c.rank] = max + w.model.Barrier(w.p)
+	c.advanceTo(max + picos(w.model.Barrier(w.p)))
 	w.stats[c.rank].Barriers++
+	c.traceComm(0, 0)
 }
 
 // exchange is the collective building block: every rank deposits one value
@@ -248,13 +342,13 @@ func (c *Comm) exchange(data any) []deposit {
 	all := make([]deposit, w.p)
 	copy(all, w.cells)
 	w.bar.await()
-	max := 0.0
+	var max int64
 	for r := range all {
 		if all[r].clock > max {
 			max = all[r].clock
 		}
 	}
-	w.clocks[c.rank] = max
+	c.advanceTo(max)
 	return all
 }
 

@@ -76,26 +76,29 @@ func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
 
 	t := NewTable(s, 0)
 	vals := make([]float64, len(s.Attrs))
-	line := 1
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+			// csv.ParseError already carries the exact source position, so
+			// no line number of our own (a separate counter drifts on
+			// quoted multi-line fields).
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
 		}
-		line++
 		for a, attr := range s.Attrs {
 			if attr.Kind == Continuous {
 				v, err := strconv.ParseFloat(rec[a], 64)
 				if err != nil {
+					line, _ := cr.FieldPos(a)
 					return nil, fmt.Errorf("dataset: line %d attribute %q: %w", line, attr.Name, err)
 				}
 				vals[a] = v
 			} else {
 				idx, ok := catIndex[a][rec[a]]
 				if !ok {
+					line, _ := cr.FieldPos(a)
 					return nil, fmt.Errorf("dataset: line %d attribute %q: unknown value %q", line, attr.Name, rec[a])
 				}
 				vals[a] = float64(idx)
@@ -103,9 +106,11 @@ func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
 		}
 		cls, ok := classIndex[rec[len(rec)-1]]
 		if !ok {
+			line, _ := cr.FieldPos(len(rec) - 1)
 			return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, rec[len(rec)-1])
 		}
 		if err := t.AppendRow(vals, cls); err != nil {
+			line, _ := cr.FieldPos(0)
 			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
 		}
 	}

@@ -76,3 +76,55 @@ func TestCSVRejectsInvalidSchema(t *testing.T) {
 		t.Fatal("invalid schema accepted")
 	}
 }
+
+func TestCSVErrorLineNumbers(t *testing.T) {
+	s := twoClassSchema()
+	header := "salary,age,elevel,class\n"
+	cases := []struct{ name, body, want string }{
+		// The header is line 1, so the first data row is line 2.
+		{"bad float first row", "abc,30,hs,A\n", "line 2"},
+		{"bad category third row", "1,30,hs,A\n2,40,grad,B\n3,50,phd,A\n", "line 4"},
+		{"bad class second row", "1,30,hs,A\n2,40,grad,C\n", "line 3"},
+		// A malformed row (wrong field count): the csv package's own
+		// error position must come through unmangled.
+		{"malformed row", "1,30,hs,A\n2,40\n", "line 3"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(header+c.body), s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCSVQuotedMultiLineFieldLineNumbers(t *testing.T) {
+	s := twoClassSchema()
+	// The first record's categorical field spans two physical lines
+	// inside quotes, but matches no category — the error must point at
+	// the line the field starts on, and a following record's error must
+	// account for the extra physical line.
+	header := "salary,age,elevel,class\n"
+	body := "1,30,\"h\ns\",A\n2,40,el,C\n"
+	_, err := ReadCSV(strings.NewReader(header+body), s)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("multi-line field error: got %v, want line 2", err)
+	}
+
+	// A schema whose categorical domain contains a newline makes record 1
+	// parse successfully across two physical lines; the bad class in
+	// record 2 then sits on physical line 4, not record number 3 — a
+	// per-record counter would drift here.
+	s2 := &Schema{
+		Attrs: []Attribute{
+			{Name: "salary", Kind: Continuous},
+			{Name: "note", Kind: Categorical, Values: []string{"multi\nline", "plain"}},
+		},
+		Classes: []string{"A", "B"},
+	}
+	header = "salary,note,class\n"
+	body = "1,\"multi\nline\",A\n2,plain,C\n"
+	_, err = ReadCSV(strings.NewReader(header+body), s2)
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error after multi-line field: got %v, want line 4", err)
+	}
+}

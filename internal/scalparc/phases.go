@@ -8,6 +8,7 @@ import (
 	"repro/internal/gini"
 	"repro/internal/nodetable"
 	"repro/internal/splitter"
+	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -49,6 +50,7 @@ func (wk *worker) findSplits(splitIdx []int, nNeed int) []splitter.Candidate {
 // findSplitsBatch runs FindSplitI and the candidate half of FindSplitII
 // for one batch of need-split nodes.
 func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidate {
+	wk.c.SetPhase(trace.FindSplitI, wk.level)
 	contAttrs := wk.schema.ContIndices()
 	catAttrs := wk.schema.CatIndices()
 	nc := wk.schema.NumClasses()
@@ -96,6 +98,7 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 		}, boundary{})
 
 		// FindSplitII: linear gini scan of every local segment.
+		wk.c.SetPhase(trace.FindSplitII, wk.level)
 		for i := range wk.active {
 			i2 := splitIdx[i]
 			if i2 < 0 {
@@ -137,6 +140,10 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 
 	// --- Categorical attributes: count matrices reduced onto a
 	// designated coordinator per attribute, which evaluates the splits.
+	// Counting and reducing is FindSplitI work, like the prefix scan.
+	if len(catAttrs) > 0 {
+		wk.c.SetPhase(trace.FindSplitI, wk.level)
+	}
 	for _, a := range catAttrs {
 		card := wk.schema.Attrs[a].Cardinality()
 		vec := make([]int64, nNeed*card*nc)
@@ -169,6 +176,7 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 
 	// FindSplitII's closing step: the overall best split per node via a
 	// global reduction with the deterministic candidate order.
+	wk.c.SetPhase(trace.FindSplitII, wk.level)
 	return comm.AllReduce(wk.c, best, splitter.Best)
 }
 
@@ -200,6 +208,7 @@ func (wk *worker) performSplitI(doSplit []bool, splitIdx []int, cands []splitter
 }
 
 func (wk *worker) performSplitIBatch(doSplit []bool, splitIdx []int, cands []splitter.Candidate) ([][]uint8, [][][]int64) {
+	wk.c.SetPhase(trace.PerformSplitI, wk.level)
 	nc := wk.schema.NumClasses()
 	model := wk.c.Model()
 
@@ -313,6 +322,7 @@ func (wk *worker) buildChildren(doSplit []bool, splitIdx []int, childHists [][][
 func (wk *worker) performSplitII(doSplit []bool, splitIdx []int, cands []splitter.Candidate,
 	splitChild [][]uint8, next []*nodeState, childIndex [][]int) {
 
+	wk.c.SetPhase(trace.PerformSplitII, wk.level)
 	model := wk.c.Model()
 
 	// The tech-report optimization: gather every attribute's enquiry rids

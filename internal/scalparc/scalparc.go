@@ -40,6 +40,7 @@ import (
 	"repro/internal/nodetable"
 	"repro/internal/psort"
 	"repro/internal/splitter"
+	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -95,6 +96,10 @@ type Result struct {
 	PeakMemoryPerRank []int64
 	// Stats are the per-rank communication counters.
 	Stats []comm.Stats
+	// Trace is the per-rank (phase, level) breakdown of the run: where
+	// every picosecond of modeled time and every byte of communication
+	// went. Per-rank bucket times sum exactly to that rank's final clock.
+	Trace *trace.Trace
 }
 
 // Options tunes the parallel induction engine beyond the split-selection
@@ -190,6 +195,7 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	}
 	res.PeakMemoryPerRank = w.PeakMemory()
 	res.Stats = w.Stats()
+	res.Trace = w.Trace()
 	return res, nil
 }
 
@@ -225,6 +231,7 @@ type worker struct {
 	perNode    bool  // ABL-NODE: per-node instead of per-level comms
 	batched    bool  // tech-report optimization: one enquiry per level
 	rebalance  bool  // ABL-REBAL: re-equalise list shares per level
+	level      int   // current tree level, for phase attribution
 	levelStats []LevelStats
 }
 
@@ -249,9 +256,11 @@ func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory Re
 
 	// Presort: sample sort + shift for every continuous attribute. The
 	// categorical lists stay in record order.
+	c.SetPhase(trace.Sort, 0)
 	for _, a := range wk.schema.ContIndices() {
 		wk.cont[a] = psort.Sort(c, wk.cont[a])
 	}
+	c.SetPhase(trace.Other, 0)
 
 	// One segment per attribute: the root owns everything.
 	for a := range wk.segs {
@@ -309,6 +318,7 @@ func (wk *worker) free() {
 // runLevel executes the four phases for the current set of active nodes
 // and replaces them with the next level's.
 func (wk *worker) runLevel() {
+	wk.level = len(wk.levelStats)
 	levelStart := wk.c.Clock()
 	stats := LevelStats{ActiveNodes: len(wk.active)}
 	for _, ns := range wk.active {
@@ -361,6 +371,8 @@ func (wk *worker) runLevel() {
 
 	wk.active = nextActive
 	if wk.rebalance {
+		// The extra all-to-alls are outside the paper's four phases.
+		wk.c.SetPhase(trace.Other, wk.level)
 		wk.rebalanceLists()
 	}
 

@@ -24,11 +24,14 @@ package sliq
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/extmem"
 	"repro/internal/gini"
 	"repro/internal/splitter"
+	"repro/internal/timing"
+	"repro/internal/trace"
 	"repro/internal/tree"
 )
 
@@ -43,7 +46,75 @@ type listSource interface {
 func Train(tab *dataset.Table, cfg splitter.Config) (*tree.Tree, error) {
 	lists := dataset.BuildLists(tab, 0)
 	lists.SortContinuous()
-	return induce(tab, cfg, &memSource{lists: lists})
+	return induce(tab, cfg, &memSource{lists: lists}, nil)
+}
+
+// tracer carries a modeled serial clock and its phase attribution. SLIQ
+// has no communication world, so the tracer is the single "rank" of the
+// resulting trace. A nil tracer disables all accounting.
+type tracer struct {
+	rt    *trace.RankTrace
+	clock int64
+	model timing.Model
+}
+
+func (t *tracer) phase(p trace.Phase, level int) {
+	if t == nil {
+		return
+	}
+	t.rt.SetPhase(p, level, t.clock)
+}
+
+func (t *tracer) charge(seconds float64) {
+	if t == nil || seconds <= 0 {
+		return
+	}
+	d := int64(math.Round(seconds * 1e12))
+	t.clock += d
+	t.rt.AddPicos(d)
+}
+
+func (t *tracer) chargeScan(n int) {
+	if t != nil {
+		t.charge(t.model.ScanTime(n))
+	}
+}
+
+func (t *tracer) chargeSplit(n int) {
+	if t != nil {
+		t.charge(t.model.SplitTime(n))
+	}
+}
+
+func (t *tracer) chargeHash(n int) {
+	if t != nil {
+		t.charge(t.model.HashTime(n))
+	}
+}
+
+// TrainTraced is Train with a modeled serial clock: every list scan is
+// charged to the cost model and attributed to a phase, producing the
+// same per-phase/per-level breakdown the parallel engines report (as a
+// one-rank trace). SLIQ merges FindSplitI into its evaluation scan and
+// never physically splits a list, so FindSplitI and PerformSplitII
+// report zero by construction: the evaluation scans land in FindSplitII
+// and the class-list rewrite in PerformSplitI.
+func TrainTraced(tab *dataset.Table, cfg splitter.Config, model timing.Model) (*tree.Tree, *trace.Trace, float64, error) {
+	lists := dataset.BuildLists(tab, 0)
+	tr := &tracer{rt: trace.NewRank(), model: model}
+	tr.phase(trace.Sort, 0)
+	lists.SortContinuous()
+	for _, c := range lists.Cont {
+		tr.charge(model.SortTime(len(c)))
+	}
+	tr.phase(trace.Other, 0)
+	t, err := induce(tab, cfg, &memSource{lists: lists}, tr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	tr.rt.Finish(tr.clock)
+	out := &trace.Trace{Ranks: []*trace.RankTrace{tr.rt}, FinalPicos: []int64{tr.clock}}
+	return t, out, out.TotalSeconds(), nil
 }
 
 // DiskStats reports the disk traffic of a TrainDisk run.
@@ -71,7 +142,7 @@ func TrainDisk(tab *dataset.Table, cfg splitter.Config, dir string, bufSize int)
 			return nil, DiskStats{}, err
 		}
 	}
-	t, err := induce(tab, cfg, src)
+	t, err := induce(tab, cfg, src, nil)
 	stats := store.Stats()
 	if cerr := store.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -135,7 +206,7 @@ type contScan struct {
 	best    splitter.Candidate
 }
 
-func induce(tab *dataset.Table, cfg splitter.Config, src listSource) (*tree.Tree, error) {
+func induce(tab *dataset.Table, cfg splitter.Config, src listSource, tr *tracer) (*tree.Tree, error) {
 	defer src.close()
 	if err := tab.Schema.Validate(); err != nil {
 		return nil, err
@@ -155,14 +226,17 @@ func induce(tab *dataset.Table, cfg splitter.Config, src listSource) (*tree.Tree
 	root := &tree.Node{Hist: tab.ClassHistogram()}
 	active := []*nodeState{{node: root, hist: root.Hist, depth: 0}}
 
-	for len(active) > 0 {
+	for level := 0; len(active) > 0; level++ {
 		needSplit := make([]bool, len(active))
 		for i, ns := range active {
 			needSplit[i] = shouldTrySplit(ns, cfg)
 		}
 
 		// Evaluation pass: one scan per attribute list evaluates every
-		// active leaf's candidates at once.
+		// active leaf's candidates at once. Every list is scanned in full
+		// each level — retired records included — which is exactly SLIQ's
+		// cost profile, so the full list length is charged.
+		tr.phase(trace.FindSplitII, level)
 		best := make([]splitter.Candidate, len(active))
 		for a, attr := range schema.Attrs {
 			if attr.Kind == dataset.Continuous {
@@ -223,6 +297,7 @@ func induce(tab *dataset.Table, cfg splitter.Config, src listSource) (*tree.Tree
 					}
 				}
 			}
+			tr.chargeScan(n)
 		}
 
 		// Decisions.
@@ -268,6 +343,10 @@ func induce(tab *dataset.Table, cfg splitter.Config, src listSource) (*tree.Tree
 			_ = ns
 		}
 
+		// The class-list rewrite is SLIQ's analogue of ScalParC's
+		// PerformSplitI; there is no PerformSplitII because lists are
+		// never physically partitioned.
+		tr.phase(trace.PerformSplitI, level)
 		splitAttrs := map[int]bool{}
 		for i := range active {
 			if doSplit[i] {
@@ -310,6 +389,7 @@ func induce(tab *dataset.Table, cfg splitter.Config, src listSource) (*tree.Tree
 					return nil, err
 				}
 			}
+			tr.chargeSplit(n)
 		}
 
 		// Materialise children now that their histograms are complete.
@@ -347,6 +427,7 @@ func induce(tab *dataset.Table, cfg splitter.Config, src listSource) (*tree.Tree
 				return nil, fmt.Errorf("sliq: record %d missed by every apply scan", rid)
 			}
 		}
+		tr.chargeHash(n)
 		classList = newClassList
 		active = next
 	}

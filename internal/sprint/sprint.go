@@ -8,7 +8,10 @@
 // Everything else (presort, FindSplit phases, list layout) is shared with
 // package scalparc; only the RecordMap strategy differs, which is exactly
 // the difference the paper describes. The induced tree is identical — the
-// comparison is about runtime and memory, not accuracy.
+// comparison is about runtime and memory, not accuracy. The shared engine
+// also means SPRINT runs get the same per-phase/per-level trace as
+// ScalParC (Result.Trace): the replicated table's gathers and hash work
+// land in PerformSplitI, its local lookups in PerformSplitII.
 package sprint
 
 import (

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto, speedscope all read it). Timestamps and
+// durations are microseconds; pid/tid organise the per-rank timelines.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome emits the per-rank virtual timelines as Chrome trace-event
+// JSON: one thread per rank, one complete ("X") event per contiguous
+// (phase, level) span, with virtual time mapped to trace time.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "simulated machine (virtual time)"},
+	})
+	for r := range t.Ranks {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for r, rt := range t.Ranks {
+		for _, s := range rt.Spans() {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s L%d", s.Phase, s.Level),
+				Cat:  s.Phase.String(),
+				Ph:   "X",
+				Ts:   float64(s.StartPicos) / 1e6, // picos -> micros
+				Dur:  float64(s.EndPicos-s.StartPicos) / 1e6,
+				Pid:  0,
+				Tid:  r,
+				Args: map[string]any{"level": s.Level},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// tablePhases is the display order of the text table's columns.
+var tablePhases = [NumPhases]Phase{Sort, FindSplitI, FindSplitII, PerformSplitI, PerformSplitII, Other}
+
+// WriteText prints the per-phase/per-level breakdown table.
+//
+// Times are the critical rank's (the rank whose final clock is the
+// modeled runtime T_p), so the phase totals sum exactly — integer
+// picoseconds underneath — to the reported total modeled runtime. Bytes
+// sent and operation counts are summed over all ranks.
+func (t *Trace) WriteText(w io.Writer) {
+	cr := t.CriticalRank()
+	crit := t.Ranks[cr]
+
+	byKey := make(map[Key]Bucket)
+	for _, b := range crit.Buckets() {
+		byKey[b.Key] = b
+	}
+
+	fmt.Fprintf(w, "phase breakdown (times: critical rank %d; bytes/ops: all ranks)\n", cr)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "level")
+	for _, p := range tablePhases {
+		fmt.Fprintf(tw, "\t%s", p)
+	}
+	fmt.Fprintln(tw, "\tlevel total")
+	levels := t.Levels()
+	for l := 0; l < levels; l++ {
+		var row int64
+		hasAny := false
+		cells := make([]int64, len(tablePhases))
+		for i, p := range tablePhases {
+			b := byKey[Key{Phase: p, Level: l}]
+			cells[i] = b.Picos
+			row += b.Picos
+			if b.Picos > 0 {
+				hasAny = true
+			}
+		}
+		if !hasAny {
+			continue
+		}
+		fmt.Fprintf(tw, "%d", l)
+		for _, c := range cells {
+			fmt.Fprintf(tw, "\t%s", secs(c))
+		}
+		fmt.Fprintf(tw, "\t%s\n", secs(row))
+	}
+	phases := crit.PhasePicos()
+	var total int64
+	fmt.Fprintf(tw, "phase total")
+	for _, p := range tablePhases {
+		total += phases[p]
+		fmt.Fprintf(tw, "\t%s", secs(phases[p]))
+	}
+	fmt.Fprintf(tw, "\t%s\n", secs(total))
+	tw.Flush()
+
+	// Communication volume per phase, aggregated over every rank.
+	var sent, recv, ops [NumPhases]int64
+	for _, rt := range t.Ranks {
+		for _, b := range rt.Buckets() {
+			sent[b.Phase] += b.BytesSent
+			recv[b.Phase] += b.BytesRecv
+			ops[b.Phase] += b.Ops
+		}
+	}
+	tw = tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tsent\trecv\tcomm ops")
+	for _, p := range tablePhases {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\n", p, bytesh(sent[p]), bytesh(recv[p]), ops[p])
+	}
+	tw.Flush()
+}
+
+// secs formats picoseconds as seconds for the table.
+func secs(p int64) string { return fmt.Sprintf("%.6fs", float64(p)/1e12) }
+
+// bytesh formats a byte count human-readably.
+func bytesh(b int64) string {
+	switch {
+	case b >= 10_000_000:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case b >= 10_000:
+		return fmt.Sprintf("%.2fKB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

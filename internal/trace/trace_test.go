@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBucketsAccumulateByKey(t *testing.T) {
+	rt := NewRank()
+	rt.AddPicos(5) // lands in the default (Other, 0)
+	rt.SetPhase(FindSplitI, 0, 5)
+	rt.AddPicos(10)
+	rt.AddComm(100, 200)
+	rt.SetPhase(FindSplitI, 1, 15)
+	rt.AddPicos(3)
+	rt.SetPhase(FindSplitI, 0, 18) // back to an existing bucket
+	rt.AddPicos(2)
+
+	bs := rt.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("want 3 buckets, got %d: %+v", len(bs), bs)
+	}
+	if bs[0].Key != (Key{Other, 0}) || bs[0].Picos != 5 {
+		t.Fatalf("bucket 0: %+v", bs[0])
+	}
+	if bs[1].Key != (Key{FindSplitI, 0}) || bs[1].Picos != 12 || bs[1].BytesSent != 100 || bs[1].BytesRecv != 200 || bs[1].Ops != 1 {
+		t.Fatalf("bucket 1: %+v", bs[1])
+	}
+	if bs[2].Key != (Key{FindSplitI, 1}) || bs[2].Picos != 3 {
+		t.Fatalf("bucket 2: %+v", bs[2])
+	}
+	if got := rt.TotalPicos(); got != 20 {
+		t.Fatalf("TotalPicos = %d, want 20", got)
+	}
+	ph := rt.PhasePicos()
+	if ph[Other] != 5 || ph[FindSplitI] != 15 {
+		t.Fatalf("PhasePicos: %v", ph)
+	}
+}
+
+func TestNegativeAndZeroPicosIgnored(t *testing.T) {
+	rt := NewRank()
+	rt.AddPicos(0)
+	rt.AddPicos(-7)
+	if rt.TotalPicos() != 0 {
+		t.Fatalf("zero/negative advances must not be attributed: %d", rt.TotalPicos())
+	}
+	if len(rt.Buckets()) != 0 {
+		// AddPicos(0) must not even materialise a bucket.
+		t.Fatalf("empty advances materialised buckets: %+v", rt.Buckets())
+	}
+}
+
+func TestSpansCoverTimeline(t *testing.T) {
+	rt := NewRank()
+	rt.AddPicos(4)
+	rt.SetPhase(Sort, 0, 4)
+	rt.AddPicos(6)
+	rt.SetPhase(FindSplitI, 0, 10)
+	rt.SetPhase(FindSplitII, 0, 10) // zero-length: no span
+	rt.AddPicos(1)
+	rt.Finish(11)
+
+	spans := rt.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %+v", spans)
+	}
+	want := []Span{
+		{Key{Other, 0}, 0, 4},
+		{Key{Sort, 0}, 4, 10},
+		{Key{FindSplitII, 0}, 10, 11},
+	}
+	for i, s := range spans {
+		if s != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+	// Spans must tile the timeline with no gaps.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartPicos != spans[i-1].EndPicos {
+			t.Fatalf("gap between spans %d and %d: %+v", i-1, i, spans)
+		}
+	}
+}
+
+func TestResetSplitsTimesAndComm(t *testing.T) {
+	rt := NewRank()
+	rt.SetPhase(PerformSplitI, 2, 0)
+	rt.AddPicos(9)
+	rt.AddComm(10, 20)
+	rt.ResetTimes()
+	bs := rt.Buckets()
+	if bs[0].Picos != 0 || bs[0].BytesSent != 10 {
+		t.Fatalf("ResetTimes must zero times only: %+v", bs[0])
+	}
+	if len(rt.Spans()) != 0 {
+		t.Fatal("ResetTimes must clear spans")
+	}
+	rt.AddComm(1, 1)
+	rt.ResetComm()
+	bs = rt.Buckets()
+	if bs[0].BytesSent != 0 || bs[0].BytesRecv != 0 || bs[0].Ops != 0 {
+		t.Fatalf("ResetComm must zero comm: %+v", bs[0])
+	}
+}
+
+func TestTraceTotalsAndCriticalRank(t *testing.T) {
+	a, b := NewRank(), NewRank()
+	a.AddPicos(5)
+	b.AddPicos(9)
+	tr := &Trace{Ranks: []*RankTrace{a, b}, FinalPicos: []int64{5, 9}}
+	if tr.CriticalRank() != 1 {
+		t.Fatalf("critical rank = %d", tr.CriticalRank())
+	}
+	if tr.TotalPicos() != 9 {
+		t.Fatalf("total picos = %d", tr.TotalPicos())
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	rt := NewRank()
+	rt.SetPhase(Sort, 0, 0)
+	rt.AddPicos(2_000_000) // 2 microseconds
+	rt.SetPhase(FindSplitI, 1, 2_000_000)
+	rt.AddPicos(1_000_000)
+	rt.Finish(3_000_000)
+	tr := &Trace{Ranks: []*RankTrace{rt}, FinalPicos: []int64{3_000_000}}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	var complete int
+	for _, e := range decoded.TraceEvents {
+		if e["ph"] == "X" {
+			complete++
+			if e["ts"] == nil || e["dur"] == nil || e["name"] == "" {
+				t.Fatalf("malformed complete event: %v", e)
+			}
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("want 2 complete events, got %d", complete)
+	}
+}
+
+func TestWriteTextSumsToTotal(t *testing.T) {
+	rt := NewRank()
+	rt.SetPhase(Sort, 0, 0)
+	rt.AddPicos(1e12) // 1s
+	rt.SetPhase(FindSplitI, 0, 1e12)
+	rt.AddPicos(5e11) // 0.5s
+	rt.Finish(15e11)
+	tr := &Trace{Ranks: []*RankTrace{rt}, FinalPicos: []int64{15e11}}
+
+	var buf bytes.Buffer
+	tr.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "phase total") {
+		t.Fatalf("missing totals row:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500000s") {
+		t.Fatalf("grand total 1.5s not printed:\n%s", out)
+	}
+}
