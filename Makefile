@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race cover experiments examples clean
+.PHONY: all build vet test bench race fuzz guard cover experiments examples clean
 
 all: build vet test
 
@@ -24,6 +24,16 @@ bench:
 # machine (one goroutine per rank) and the engine driving it.
 race:
 	$(GO) test -race ./internal/comm ./internal/scalparc
+
+# Short fuzzing pass over the CSV reader (CI runs the same smoke).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dataset
+
+# Benchmark-regression guard for the binned reduce-scatter FindSplitI
+# (GUARD-BINNED in EXPERIMENTS.md); exits non-zero on regression.
+guard:
+	$(GO) run ./cmd/benchrunner -exp binnedguard
 
 cover:
 	$(GO) test -cover ./...

@@ -73,6 +73,27 @@ const (
 	SLIQ
 )
 
+// SplitMode selects ScalParC's split-finding strategy.
+type SplitMode = scalparc.SplitStrategy
+
+const (
+	// SplitExact evaluates every distinct attribute value (the paper's
+	// algorithm; default). The induced tree equals the serial tree.
+	SplitExact = scalparc.SplitExact
+	// SplitBinned quantizes continuous attributes into quantile bins at
+	// presort time and exchanges dense count histograms with one
+	// reduce-scatter per level; an approximation, but still invariant
+	// under the processor count.
+	SplitBinned = scalparc.SplitBinned
+)
+
+// ParseSplitMode converts "exact" or "binned" to a SplitMode.
+func ParseSplitMode(s string) (SplitMode, error) { return scalparc.ParseSplitStrategy(s) }
+
+// DefaultBins is the quantile bin cap SplitBinned uses when Config.Bins is
+// zero.
+const DefaultBins = scalparc.DefaultBins
+
 func (a Algorithm) String() string {
 	switch a {
 	case ScalParC:
@@ -107,6 +128,12 @@ type Config struct {
 	CategoricalBinary bool
 	// Prune applies pessimistic post-pruning to the induced tree.
 	Prune bool
+	// Split selects ScalParC's split-finding strategy (default SplitExact).
+	// Only the ScalParC algorithm supports SplitBinned.
+	Split SplitMode
+	// Bins caps the per-attribute quantile bin count for SplitBinned;
+	// 0 selects the default (256). Only meaningful with SplitBinned.
+	Bins int
 }
 
 func (c Config) splitterConfig() splitter.Config {
@@ -170,6 +197,9 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 	if p == 0 {
 		p = 1
 	}
+	if (cfg.Split != SplitExact || cfg.Bins != 0) && cfg.Algorithm != ScalParC {
+		return nil, fmt.Errorf("classify: binned split finding requires the ScalParC algorithm (got %v)", cfg.Algorithm)
+	}
 
 	m := &Model{Metrics: Metrics{Algorithm: cfg.Algorithm, Processors: p}}
 	switch cfg.Algorithm {
@@ -192,7 +222,10 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 		var res *scalparc.Result
 		var err error
 		if cfg.Algorithm == ScalParC {
-			res, err = scalparc.Train(w, tab, cfg.splitterConfig())
+			res, err = scalparc.TrainOpts(w, tab, cfg.splitterConfig(), scalparc.Options{
+				Split: cfg.Split,
+				Bins:  cfg.Bins,
+			})
 		} else {
 			res, err = sprint.Train(w, tab, cfg.splitterConfig())
 		}

@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -172,6 +172,24 @@ func run(args []string, out io.Writer) error {
 	if all || want["levels"] {
 		n := int(float64(bench.PaperSizes[2]) * *scale)
 		if err := bench.Levels(out, n, 16, *function, *seed, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["binned"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		if err := bench.BinnedSweep(out, n, 8, *function, *seed, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["binnedguard"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		if err := bench.BinnedGuard(out, n, 8, machine); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -87,6 +87,8 @@ func run(args []string, stdout io.Writer) error {
 	minSplit := fs.Int("minsplit", 2, "minimum node size to split")
 	prune := fs.Bool("prune", false, "apply pessimistic post-pruning")
 	binaryCats := fs.Bool("binary-cats", false, "binary subset splits for categorical attributes")
+	splitMode := fs.String("split", "exact", "split finding: exact (the paper's algorithm) or binned (quantile histograms, scalparc only)")
+	bins := fs.Int("bins", 0, "quantile bin cap for -split=binned (0 = default 256)")
 	dump := fs.Bool("dump", false, "print the induced tree")
 	importance := fs.Bool("importance", false, "print gini attribute importance")
 	jsonOut := fs.String("json-out", "", "write the tree as JSON to this file")
@@ -120,6 +122,13 @@ func run(args []string, stdout io.Writer) error {
 		algorithm = classify.SLIQ
 	default:
 		return fmt.Errorf("unknown -algo %q", *algo)
+	}
+	split, err := classify.ParseSplitMode(*splitMode)
+	if err != nil {
+		return fmt.Errorf("-split: %w", err)
+	}
+	if *bins != 0 && split != classify.SplitBinned {
+		return fmt.Errorf("-bins requires -split=binned")
 	}
 
 	var train, test *classify.Table
@@ -164,6 +173,15 @@ func run(args []string, stdout io.Writer) error {
 		MinSplit:          *minSplit,
 		CategoricalBinary: *binaryCats,
 		Prune:             *prune,
+		Split:             split,
+		Bins:              *bins,
+	}
+	if split == classify.SplitBinned {
+		b := *bins
+		if b == 0 {
+			b = classify.DefaultBins
+		}
+		fmt.Fprintf(stdout, "binned split finding: up to %d quantile bins per continuous attribute\n", b)
 	}
 
 	if *cvFolds > 0 {

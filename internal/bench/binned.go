@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"repro/internal/comm"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/scalparc"
+	"repro/internal/splitter"
+	"repro/internal/timing"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// phaseComm totals one phase's communication over all ranks and levels of a
+// run's trace.
+func phaseComm(tr *trace.Trace, ph trace.Phase) (sent, ops int64) {
+	for _, rt := range tr.Ranks {
+		for _, b := range rt.Buckets() {
+			if b.Phase == ph {
+				sent += b.BytesSent
+				ops += b.Ops
+			}
+		}
+	}
+	return sent, ops
+}
+
+func heldOutAccuracy(t *tree.Tree, tab *dataset.Table) float64 {
+	pred := t.PredictTable(tab)
+	hits := 0
+	for i, c := range tab.Class {
+		if pred[i] == int(c) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(tab.Class))
+}
+
+// BinnedSweep runs and prints EXP-BINNED: exact vs histogram-binned split
+// finding on Quest data at one processor count, sweeping the bin budget.
+// The table reports what the reduce-scatter actually buys and costs:
+// FindSplitI collective operations (the latency term binning collapses to
+// one per level) and FindSplitI bytes (which binning INCREASES on this
+// all-continuous schema — the exact prefix-scan formulation communicates
+// only O(nodes·attrs·classes) per level, independent of both N and B, so a
+// dense B-bin histogram cannot undercut it; see EXPERIMENTS.md).
+func BinnedSweep(w io.Writer, n, p int, function int, seed int64, machine timing.Model) error {
+	fmt.Fprintf(w, "EXP-BINNED — exact vs binned split finding (%s records, %d processors)\n", human(n), p)
+	tab, err := datagen.Generate(datagen.Config{
+		Function: function, Attrs: datagen.Seven, Seed: seed, Perturbation: 0.05,
+	}, n)
+	if err != nil {
+		return err
+	}
+	train, test := tab.Split(0.75)
+
+	type row struct {
+		name string
+		opts scalparc.Options
+	}
+	rows := []row{{"exact", scalparc.Options{}}}
+	for _, b := range []int{8, 64, 256} {
+		rows = append(rows, row{fmt.Sprintf("binned B=%d", b),
+			scalparc.Options{Split: scalparc.SplitBinned, Bins: b}})
+	}
+
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\truntime\tnodes\tFindSplitI ops\tFindSplitI sent\theld-out accuracy")
+	for _, r := range rows {
+		world := comm.NewWorld(p, machine)
+		res, err := scalparc.TrainOpts(world, train, splitter.Config{}, r.opts)
+		if err != nil {
+			return err
+		}
+		sent, ops := phaseComm(res.Trace, trace.FindSplitI)
+		fmt.Fprintf(tw, "%s\t%.3fs\t%d\t%d\t%.1fKB\t%.4f\n",
+			r.name, res.ModeledSeconds, res.Tree.NumNodes(), ops,
+			float64(sent)/1e3, heldOutAccuracy(res.Tree, test))
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "(bytes grow with B and with the approximation's larger node count;")
+	fmt.Fprintln(w, " the binned win is one collective per level and balanced receive volume)")
+	return nil
+}
+
+// guardDataset builds the deterministic categorical-heavy table BinnedGuard
+// runs on: two continuous attributes with d distinct values in exactly
+// equal frequency (so with Bins = d the quantile cuts enumerate every value
+// boundary and the binned tree equals the exact tree), plus three
+// cardinality-16 categorical attributes whose count matrices dominate the
+// exact path's FindSplitI volume.
+func guardDataset(n, d int) *dataset.Table {
+	cat := func(name string) dataset.Attribute {
+		vals := make([]string, 16)
+		for v := range vals {
+			vals[v] = fmt.Sprintf("%s%d", name, v)
+		}
+		return dataset.Attribute{Name: name, Kind: dataset.Categorical, Values: vals}
+	}
+	s := &dataset.Schema{
+		Attrs: []dataset.Attribute{
+			{Name: "x", Kind: dataset.Continuous},
+			{Name: "y", Kind: dataset.Continuous},
+			cat("j"), cat("k"), cat("l"),
+		},
+		Classes: []string{"C0", "C1"},
+	}
+	rng := rand.New(rand.NewSource(17))
+	cols := make([][]float64, 2)
+	for a := range cols {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = float64(i % d)
+		}
+		rng.Shuffle(n, func(i, j int) { col[i], col[j] = col[j], col[i] })
+		cols[a] = col
+	}
+	tab := dataset.NewTable(s, n)
+	for i := 0; i < n; i++ {
+		j, k, l := rng.Intn(16), rng.Intn(16), rng.Intn(16)
+		cls := 0
+		if cols[0][i] > float64(d/2) != (j < 8) || rng.Intn(12) == 0 {
+			cls = 1
+		}
+		if err := tab.AppendRow([]float64{cols[0][i], cols[1][i], float64(j), float64(k), float64(l)}, cls); err != nil {
+			panic(err)
+		}
+	}
+	return tab
+}
+
+// BinnedGuard runs and prints GUARD-BINNED, the CI benchmark-regression
+// guard for the reduce-scatter FindSplitI. It trains exact and binned mode
+// on a categorical-heavy dataset in the binned path's degeneracy regime
+// (equal-frequency continuous values, Bins = distinct values), where the
+// two trees are provably identical and the dense uint32 histogram exchange
+// is strictly cheaper than the exact path's int64 count-matrix reductions.
+// It returns an error — failing CI — if any of the three invariants
+// regresses: identical trees, fewer FindSplitI collective operations, or
+// fewer FindSplitI bytes.
+func BinnedGuard(w io.Writer, n, p int, machine timing.Model) error {
+	d := 8
+	fmt.Fprintf(w, "GUARD-BINNED — binned FindSplitI must beat exact on its home turf (%s records, %d processors)\n", human(n), p)
+	tab := guardDataset(n, d)
+	cfg := splitter.Config{MinSplit: 16}
+
+	exact, err := scalparc.TrainOpts(comm.NewWorld(p, machine), tab, cfg, scalparc.Options{})
+	if err != nil {
+		return err
+	}
+	binned, err := scalparc.TrainOpts(comm.NewWorld(p, machine), tab, cfg,
+		scalparc.Options{Split: scalparc.SplitBinned, Bins: d})
+	if err != nil {
+		return err
+	}
+
+	eSent, eOps := phaseComm(exact.Trace, trace.FindSplitI)
+	bSent, bOps := phaseComm(binned.Trace, trace.FindSplitI)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tnodes\tFindSplitI ops\tFindSplitI sent")
+	fmt.Fprintf(tw, "exact\t%d\t%d\t%.1fKB\n", exact.Tree.NumNodes(), eOps, float64(eSent)/1e3)
+	fmt.Fprintf(tw, "binned B=%d\t%d\t%d\t%.1fKB\n", d, binned.Tree.NumNodes(), bOps, float64(bSent)/1e3)
+	tw.Flush()
+
+	if !binned.Tree.Equal(exact.Tree) {
+		return fmt.Errorf("binned guard: degeneracy regression — binned tree differs from exact with Bins = distinct values")
+	}
+	if bOps >= eOps {
+		return fmt.Errorf("binned guard: FindSplitI collective ops regression — binned %d >= exact %d", bOps, eOps)
+	}
+	if bSent >= eSent {
+		return fmt.Errorf("binned guard: FindSplitI bytes regression — binned %d >= exact %d", bSent, eSent)
+	}
+	fmt.Fprintf(w, "ok: identical trees, %.2fx fewer FindSplitI ops, %.2fx fewer FindSplitI bytes\n",
+		float64(eOps)/float64(bOps), float64(eSent)/float64(bSent))
+	return nil
+}

@@ -262,6 +262,74 @@ func ReduceSum(c *Comm, root int, x []int64) []int64 {
 	return Reduce(c, root, x, func(a, b int64) int64 { return a + b })
 }
 
+// ReduceScatter combines equal-length vectors from every rank elementwise
+// with op (applied in rank order) and scatters the result: rank r receives
+// the contiguous segment of counts[r] elements starting at
+// counts[0]+…+counts[r-1] of the combined vector. counts must be identical
+// on every rank and sum to the vector length (MPI_Reduce_scatter).
+//
+// This is the histogram-exchange primitive of binned split finding: every
+// rank contributes the full local count vector but owns — and pays receive
+// bytes for — only its own slice of the global histogram.
+func ReduceScatter[T any](c *Comm, x []T, counts []int, op func(a, b T) T) []T {
+	p := c.Size()
+	if len(counts) != p {
+		panic(fmt.Sprintf("comm: ReduceScatter has %d counts; world has %d ranks", len(counts), p))
+	}
+	n := len(x)
+	total, off := 0, 0
+	for r, k := range counts {
+		if k < 0 {
+			panic(fmt.Sprintf("comm: ReduceScatter counts[%d] = %d negative", r, k))
+		}
+		if r < c.Rank() {
+			off += k
+		}
+		total += k
+	}
+	if total != n {
+		panic(fmt.Sprintf("comm: ReduceScatter counts sum to %d; vector has %d elements", total, n))
+	}
+	es := sizeOf[T]()
+	all := c.exchange(x)
+	mine := counts[c.Rank()]
+	out := make([]T, mine)
+	first := true
+	for r := 0; r < p; r++ {
+		v := all[r].data.([]T)
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: ReduceScatter length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+		}
+		if first {
+			copy(out, v[off:off+mine])
+			first = false
+			continue
+		}
+		for i := range out {
+			out[i] = op(out[i], v[off+i])
+		}
+	}
+	// Each rank sends every element it does not keep and receives the
+	// other p-1 contributions to the elements it does keep.
+	sent := int64((n - mine) * es)
+	recv := int64((p - 1) * mine * es)
+	st := c.Stats()
+	st.BytesSent += sent
+	st.BytesRecv += recv
+	st.ReduceScatters++
+	c.traceComm(sent, recv)
+	c.Compute(c.Model().ReduceScatter(p, n*es))
+	return out
+}
+
+// ReduceScatterSum32 is ReduceScatter specialised to elementwise uint32
+// sums, the wire format of the binned histogram exchange (record ids are
+// int32, so any global class count fits in 32 bits at half the wire cost
+// of the int64 count matrices).
+func ReduceScatterSum32(c *Comm, x []uint32, counts []int) []uint32 {
+	return ReduceScatter(c, x, counts, func(a, b uint32) uint32 { return a + b })
+}
+
 // Bcast distributes the root's vector to every rank. Non-root ranks pass
 // nil (or anything; their contribution is ignored).
 func Bcast[T any](c *Comm, root int, x []T) []T {

@@ -364,6 +364,66 @@ func TestReduceOnlyRootReceives(t *testing.T) {
 	}
 }
 
+func TestReduceScatter(t *testing.T) {
+	for _, p := range testSizes() {
+		// Uneven, deterministic chunk sizes (including empty chunks).
+		counts := make([]int, p)
+		n := 0
+		for r := range counts {
+			counts[r] = (r*5 + 2) % 4
+			n += counts[r]
+		}
+		w := NewWorld(p, timing.T3D())
+		results := make([][]int64, p)
+		w.Run(func(c *Comm) {
+			x := make([]int64, n)
+			for i := range x {
+				x[i] = int64(c.Rank()*1000 + i)
+			}
+			results[c.Rank()] = ReduceScatter(c, x, counts, func(a, b int64) int64 { return a + b })
+		})
+		off := 0
+		for r := 0; r < p; r++ {
+			if len(results[r]) != counts[r] {
+				t.Fatalf("p=%d rank %d: chunk length %d, want %d", p, r, len(results[r]), counts[r])
+			}
+			for i, got := range results[r] {
+				want := int64(p*(off+i)) + int64(1000*p*(p-1)/2)
+				if got != want {
+					t.Fatalf("p=%d rank %d slot %d: %d, want %d", p, r, i, got, want)
+				}
+			}
+			off += counts[r]
+		}
+		// Byte accounting: each rank sends what it does not keep and
+		// receives the other ranks' contributions to its own chunk.
+		stats := w.Stats()
+		es := sizeOf[int64]()
+		for r := 0; r < p; r++ {
+			wantSent := int64((n - counts[r]) * es)
+			wantRecv := int64((p - 1) * counts[r] * es)
+			if stats[r].BytesSent != wantSent || stats[r].BytesRecv != wantRecv {
+				t.Fatalf("p=%d rank %d: sent/recv %d/%d, want %d/%d",
+					p, r, stats[r].BytesSent, stats[r].BytesRecv, wantSent, wantRecv)
+			}
+			if stats[r].ReduceScatters != 1 {
+				t.Fatalf("p=%d rank %d: ReduceScatters=%d", p, r, stats[r].ReduceScatters)
+			}
+		}
+	}
+}
+
+func TestReduceScatterValidatesCounts(t *testing.T) {
+	w := NewWorld(2, timing.T3D())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched counts did not panic")
+		}
+	}()
+	c := w.Rank(0)
+	ReduceScatterSum32(c, []uint32{1, 2, 3}, []int{1, 1}) // sums to 2, not 3
+}
+
 func TestBcast(t *testing.T) {
 	for _, p := range testSizes() {
 		root := p - 1

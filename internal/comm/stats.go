@@ -9,14 +9,15 @@ type Stats struct {
 	MsgsSent int64
 	MsgsRecv int64
 
-	Barriers   int64
-	AllToAlls  int64
-	AllReduces int64
-	Scans      int64
-	Allgathers int64
-	Reduces    int64
-	Bcasts     int64
-	Gathers    int64
+	Barriers       int64
+	AllToAlls      int64
+	AllReduces     int64
+	Scans          int64
+	Allgathers     int64
+	Reduces        int64
+	ReduceScatters int64
+	Bcasts         int64
+	Gathers        int64
 }
 
 // Add accumulates other into s.
@@ -31,6 +32,7 @@ func (s *Stats) Add(other Stats) {
 	s.Scans += other.Scans
 	s.Allgathers += other.Allgathers
 	s.Reduces += other.Reduces
+	s.ReduceScatters += other.ReduceScatters
 	s.Bcasts += other.Bcasts
 	s.Gathers += other.Gathers
 }

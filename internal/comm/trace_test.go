@@ -95,6 +95,15 @@ func mixedWorkload(c *Comm) {
 	ExScanSum(c, []int64{int64(me), 2})
 	ReverseExScan(c, []int64{int64(me)}, func(a, b int64) int64 { return a + b }, 0)
 	AllReduceSum(c, []int64{1, 2, 3})
+	counts := make([]int, p)
+	hist := make([]uint32, 0, 2*p)
+	for r := 0; r < p; r++ {
+		counts[r] = (r % 3) + 1
+		for i := 0; i < counts[r]; i++ {
+			hist = append(hist, uint32(me+r+i))
+		}
+	}
+	ReduceScatterSum32(c, hist, counts)
 
 	c.SetPhase(trace.FindSplitII, 1)
 	Allgather(c, make([]float64, me+1))
@@ -143,6 +152,48 @@ func TestTraceConservesClockAndBytes(t *testing.T) {
 		}
 		if got, want := tr.TotalPicos(), w.MaxClockPicos(); got != want {
 			t.Fatalf("p=%d: trace total %d picos, world max clock %d", p, got, want)
+		}
+	}
+}
+
+// TestReduceScatterClockSync pins the synchronizing-max clock rule for the
+// ReduceScatter collective at p ∈ {1, 2, 4}: ranks arrive with staggered
+// clocks, every rank leaves at the slowest arrival plus the modeled
+// reduce-scatter cost, and the per-phase trace stays exactly conservative.
+func TestReduceScatterClockSync(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		model := timing.T3D()
+		w := NewWorld(p, model)
+		counts := make([]int, p)
+		n := 0
+		for r := range counts {
+			counts[r] = r + 1
+			n += counts[r]
+		}
+		stagger := func(r int) float64 { return 1e-3 * float64(r+1) }
+		w.Run(func(c *Comm) {
+			c.SetPhase(trace.FindSplitI, 3)
+			c.Compute(stagger(c.Rank()))
+			ReduceScatterSum32(c, make([]uint32, n), counts)
+		})
+		// The slowest arrival is rank p-1; everyone must leave at that
+		// clock plus the modeled collective cost — integer picoseconds,
+		// compared with ==.
+		want := picos(stagger(p-1)) + picos(model.ReduceScatter(p, n*sizeOf[uint32]()))
+		tr := w.Trace()
+		for r := 0; r < p; r++ {
+			if got := tr.FinalPicos[r]; got != want {
+				t.Fatalf("p=%d rank %d: clock %d picos, want %d", p, r, got, want)
+			}
+			if got := tr.Ranks[r].TotalPicos(); got != tr.FinalPicos[r] {
+				t.Fatalf("p=%d rank %d: bucket times sum to %d, clock is %d", p, r, got, tr.FinalPicos[r])
+			}
+			// The whole operation lands in the tagged bucket.
+			for _, b := range tr.Ranks[r].Buckets() {
+				if b.Phase != trace.FindSplitI || b.Level != 3 {
+					t.Fatalf("p=%d rank %d: unexpected bucket %+v", p, r, b)
+				}
+			}
 		}
 	}
 }

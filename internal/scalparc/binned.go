@@ -1,0 +1,155 @@
+package scalparc
+
+import (
+	"repro/internal/comm"
+	"repro/internal/dataset"
+	"repro/internal/gini"
+	"repro/internal/histogram"
+	"repro/internal/splitter"
+	"repro/internal/trace"
+)
+
+// computeCuts samples continuous attribute cut values at the global quantile
+// positions of the freshly sorted list. After the presort, rank r holds
+// exactly the sorted positions dataset.BlockRange(n, p, r), so each rank
+// contributes the samples falling inside its block and an allgather in rank
+// order reassembles them already position-sorted. The result is identical on
+// every rank and independent of p.
+func computeCuts(c *comm.Comm, list []dataset.ContEntry, n, bins int) []float64 {
+	positions := histogram.CutPositions(n, bins)
+	lo, _ := dataset.BlockRange(n, c.Size(), c.Rank())
+	local := make([]float64, 0, len(positions)/c.Size()+1)
+	for _, pos := range positions {
+		if pos >= lo && pos < lo+len(list) {
+			local = append(local, list[pos-lo].Val)
+		}
+	}
+	return histogram.Cuts(comm.AllgatherFlat(c, local))
+}
+
+// findSplitsBinned is the histogram-binned counterpart of findSplitsBatch.
+//
+// FindSplitI builds one dense uint32 count vector covering every
+// (need-split node, attribute) group — continuous attributes bucketed by the
+// presort-time quantile cuts, categorical ones by domain value — and
+// exchanges it with a single reduce-scatter: each rank receives the fully
+// reduced histograms of a contiguous block of groups. FindSplitII then
+// evaluates only the owned groups (bin boundaries for continuous,
+// splitter.BestCategorical for categorical) and merges the per-node winners
+// with the same deterministic candidate reduction the exact path uses.
+func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candidate {
+	wk.c.SetPhase(trace.FindSplitI, wk.level)
+	nc := wk.schema.NumClasses()
+	model := wk.c.Model()
+	p := wk.c.Size()
+
+	bins := make([]int, wk.schema.NumAttrs())
+	for a, attr := range wk.schema.Attrs {
+		if attr.Kind == dataset.Continuous {
+			bins[a] = len(wk.cuts[a]) + 1
+		} else {
+			bins[a] = attr.Cardinality()
+		}
+	}
+	layout := histogram.NewLayout(nNeed, bins, nc)
+
+	// Need-split index back to active index, for segment lookup.
+	nodeOf := make([]int, nNeed)
+	for i, i2 := range splitIdx {
+		if i2 >= 0 {
+			nodeOf[i2] = i
+		}
+	}
+
+	// Local accumulation over every group's segment. uint32 counts are safe:
+	// record ids are int32, so no count can reach 2³¹.
+	transient := int64(layout.Total) * 4
+	wk.c.Mem().Alloc(transient)
+	hist := make([]uint32, layout.Total)
+	scanned := 0
+	for _, g := range layout.Groups {
+		sg := wk.segs[g.Attr][nodeOf[g.Node]]
+		if wk.schema.Attrs[g.Attr].Kind == dataset.Continuous {
+			cuts := wk.cuts[g.Attr]
+			for _, e := range wk.cont[g.Attr][sg.off : sg.off+sg.n] {
+				hist[g.Off+histogram.BinOf(cuts, e.Val)*nc+int(e.Cid)]++
+			}
+		} else {
+			for _, e := range wk.cat[g.Attr][sg.off : sg.off+sg.n] {
+				hist[g.Off+int(e.Val)*nc+int(e.Cid)]++
+			}
+		}
+		scanned += sg.n
+	}
+	wk.c.Compute(model.ScanTime(scanned))
+
+	counts := layout.OwnerCounts(p)
+	mine := comm.ReduceScatterSum32(wk.c, hist, counts)
+
+	// FindSplitII: evaluate the owned groups from their reduced histograms.
+	wk.c.SetPhase(trace.FindSplitII, wk.level)
+	best := make([]splitter.Candidate, nNeed) // zero value is Invalid
+	glo, ghi := layout.GroupRange(p, wk.c.Rank())
+	off, evaluated := 0, 0
+	for g := glo; g < ghi; g++ {
+		grp := layout.Groups[g]
+		chunk := mine[off : off+grp.Len]
+		off += grp.Len
+		evaluated += grp.Len
+		var cand splitter.Candidate
+		if wk.schema.Attrs[grp.Attr].Kind == dataset.Continuous {
+			cand = bestBinnedCont(chunk, wk.cuts[grp.Attr], nc, grp.Attr)
+		} else {
+			flat := make([]int64, len(chunk))
+			for j, v := range chunk {
+				flat[j] = int64(v)
+			}
+			m := splitter.FromFlat(flat, grp.Bins, nc)
+			cand = splitter.BestCategorical(m, grp.Attr, wk.cfg.CategoricalBinary)
+		}
+		best[grp.Node] = splitter.Best(best[grp.Node], cand)
+	}
+	wk.c.Compute(model.ScanTime(evaluated))
+	wk.c.Mem().Free(transient)
+	return comm.AllReduce(wk.c, best, splitter.Best)
+}
+
+// bestBinnedCont evaluates a continuous attribute's bin boundaries from the
+// group's reduced (bin, class) histogram. A boundary after bin b is the
+// candidate "A <= cuts[b]"; like the exact scan, a candidate with an empty
+// side is never emitted. The gini is a pure function of the same integer
+// counts the exact path would reduce, so ties break identically.
+func bestBinnedCont(chunk []uint32, cuts []float64, nc int, attr int) splitter.Candidate {
+	below := make([]int64, nc)
+	above := make([]int64, nc)
+	var nAbove int64
+	for b := 0; b < len(cuts)+1; b++ {
+		for j := 0; j < nc; j++ {
+			above[j] += int64(chunk[b*nc+j])
+			nAbove += int64(chunk[b*nc+j])
+		}
+	}
+	best := splitter.Invalid
+	var nBelow int64
+	for b := range cuts {
+		for j := 0; j < nc; j++ {
+			v := int64(chunk[b*nc+j])
+			below[j] += v
+			above[j] -= v
+			nBelow += v
+			nAbove -= v
+		}
+		if nBelow == 0 || nAbove == 0 {
+			continue
+		}
+		cand := splitter.Candidate{
+			Valid:     true,
+			Gini:      gini.SplitIndex(below, above),
+			Attr:      int32(attr),
+			Kind:      splitter.ContSplit,
+			Threshold: cuts[b],
+		}
+		best = splitter.Best(best, cand)
+	}
+	return best
+}

@@ -102,6 +102,52 @@ type Result struct {
 	Trace *trace.Trace
 }
 
+// SplitStrategy selects how FindSplit locates candidate split points.
+type SplitStrategy int
+
+const (
+	// SplitExact evaluates every distinct attribute value as a candidate
+	// threshold — the paper's algorithm. The induced tree is identical to
+	// the serial classifier's for every processor count.
+	SplitExact SplitStrategy = iota
+	// SplitBinned quantizes each continuous attribute into at most Bins
+	// quantile bins at presort time and evaluates only the bin boundaries,
+	// exchanging dense (node, bin, class) count histograms with a single
+	// reduce-scatter per level instead of prefix scans and per-attribute
+	// reductions. The tree is an approximation of the exact tree (identical
+	// when every attribute has at most Bins distinct equal-frequency
+	// values) but is still invariant under the processor count, because the
+	// cuts are sampled at fixed global quantile positions.
+	SplitBinned
+)
+
+func (s SplitStrategy) String() string {
+	switch s {
+	case SplitExact:
+		return "exact"
+	case SplitBinned:
+		return "binned"
+	default:
+		return fmt.Sprintf("SplitStrategy(%d)", int(s))
+	}
+}
+
+// ParseSplitStrategy converts a -split flag value to a SplitStrategy.
+func ParseSplitStrategy(s string) (SplitStrategy, error) {
+	switch s {
+	case "exact":
+		return SplitExact, nil
+	case "binned":
+		return SplitBinned, nil
+	default:
+		return 0, fmt.Errorf("scalparc: unknown split strategy %q (want exact or binned)", s)
+	}
+}
+
+// DefaultBins is the quantile bin cap SplitBinned uses when Options.Bins is
+// zero.
+const DefaultBins = 256
+
 // Options tunes the parallel induction engine beyond the split-selection
 // configuration.
 type Options struct {
@@ -129,6 +175,11 @@ type Options struct {
 	// one attribute at a time precisely to bound that memory). Mutually
 	// exclusive with PerNodeComms.
 	BatchedEnquiry bool
+	// Split selects exact (default) or histogram-binned split finding.
+	Split SplitStrategy
+	// Bins caps the per-attribute quantile bin count for SplitBinned; zero
+	// selects DefaultBins. Setting it with SplitExact is an error.
+	Bins int
 }
 
 // Train runs ScalParC on the world's processors and returns the tree with
@@ -147,6 +198,21 @@ func TrainWith(w *comm.World, tab *dataset.Table, cfg splitter.Config, factory R
 func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Options) (*Result, error) {
 	if opts.PerNodeComms && opts.BatchedEnquiry {
 		return nil, fmt.Errorf("scalparc: PerNodeComms and BatchedEnquiry are mutually exclusive")
+	}
+	switch opts.Split {
+	case SplitExact:
+		if opts.Bins != 0 {
+			return nil, fmt.Errorf("scalparc: Bins is only meaningful with SplitBinned")
+		}
+	case SplitBinned:
+		if opts.Bins == 0 {
+			opts.Bins = DefaultBins
+		}
+		if opts.Bins < 2 || opts.Bins > 65536 {
+			return nil, fmt.Errorf("scalparc: Bins %d out of range [2, 65536]", opts.Bins)
+		}
+	default:
+		return nil, fmt.Errorf("scalparc: unknown split strategy %d", int(opts.Split))
 	}
 	factory := opts.RecordMap
 	if factory == nil {
@@ -174,10 +240,7 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	perLevel := make([][]LevelStats, w.Size())
 	start := time.Now()
 	w.Run(func(c *comm.Comm) {
-		wk := newWorker(c, tab, cfg, factory)
-		wk.perNode = opts.PerNodeComms
-		wk.batched = opts.BatchedEnquiry
-		wk.rebalance = opts.RebalanceLevels
+		wk := newWorker(c, tab, cfg, factory, opts)
 		presort[c.Rank()] = c.Clock()
 		trees[c.Rank()], levels[c.Rank()] = wk.induce()
 		perLevel[c.Rank()] = wk.levelStats
@@ -233,32 +296,57 @@ type worker struct {
 	rebalance  bool  // ABL-REBAL: re-equalise list shares per level
 	level      int   // current tree level, for phase attribution
 	levelStats []LevelStats
+
+	// Binned split finding (Options.Split == SplitBinned): cuts[a] is the
+	// strictly increasing quantile cut vector of continuous attribute a
+	// (nil for categorical attributes), sampled once at presort time and
+	// identical on every rank.
+	split    SplitStrategy
+	bins     int
+	cuts     [][]float64
+	cutBytes int64
 }
 
 // newWorker distributes the table, builds this rank's attribute lists, and
 // runs the presort.
-func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory RecordMapFactory) *worker {
+func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory RecordMapFactory, opts Options) *worker {
 	n := tab.NumRows()
 	p := c.Size()
 	lo, hi := dataset.BlockRange(n, p, c.Rank())
 	local := dataset.BuildLists(tab.Slice(lo, hi), lo)
 
 	wk := &worker{
-		c:      c,
-		schema: tab.Schema,
-		cfg:    cfg,
-		n:      n,
-		rm:     factory(c, n),
-		cont:   local.Cont,
-		cat:    local.Cat,
-		segs:   make([][]seg, tab.Schema.NumAttrs()),
+		c:         c,
+		schema:    tab.Schema,
+		cfg:       cfg,
+		n:         n,
+		rm:        factory(c, n),
+		cont:      local.Cont,
+		cat:       local.Cat,
+		segs:      make([][]seg, tab.Schema.NumAttrs()),
+		perNode:   opts.PerNodeComms,
+		batched:   opts.BatchedEnquiry,
+		rebalance: opts.RebalanceLevels,
+		split:     opts.Split,
+		bins:      opts.Bins,
 	}
 
 	// Presort: sample sort + shift for every continuous attribute. The
-	// categorical lists stay in record order.
+	// categorical lists stay in record order. Binned mode additionally
+	// samples each attribute's quantile cut vector off the freshly sorted
+	// list — the only moment the global sorted order is laid out in
+	// contiguous rank blocks.
 	c.SetPhase(trace.Sort, 0)
 	for _, a := range wk.schema.ContIndices() {
 		wk.cont[a] = psort.Sort(c, wk.cont[a])
+	}
+	if wk.split == SplitBinned {
+		wk.cuts = make([][]float64, wk.schema.NumAttrs())
+		for _, a := range wk.schema.ContIndices() {
+			wk.cuts[a] = computeCuts(c, wk.cont[a], n, wk.bins)
+			wk.cutBytes += int64(len(wk.cuts[a])) * 8
+		}
+		c.Mem().Alloc(wk.cutBytes)
 	}
 	c.SetPhase(trace.Other, 0)
 
@@ -312,6 +400,8 @@ func (wk *worker) induce() (*tree.Tree, int) {
 func (wk *worker) free() {
 	wk.c.Mem().Free(wk.listBytes)
 	wk.listBytes = 0
+	wk.c.Mem().Free(wk.cutBytes)
+	wk.cutBytes = 0
 	wk.rm.Free()
 }
 

@@ -112,6 +112,18 @@ func (m Model) Bcast(p, bytes int) float64 {
 	return m.treeCost(p, bytes, 1)
 }
 
+// ReduceScatter returns the modeled cost of a reduce-scatter of a combined
+// vector of n total bytes among p processors (recursive halving: log2(p)
+// latency rounds, with each processor streaming the (p-1)/p fraction of the
+// vector it does not keep).
+func (m Model) ReduceScatter(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(p)))
+	return rounds*m.P2PLatency + float64(p-1)/float64(p)*float64(bytes)/m.P2PBandwidth
+}
+
 // Barrier returns the modeled cost of a barrier among p processors.
 func (m Model) Barrier(p int) float64 {
 	return m.treeCost(p, 0, 2)

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// goldenTrace builds a small deterministic two-rank run by hand: rank 0 is
+// the critical rank, rank 1 finishes early, and the span structure exercises
+// every piece of the Chrome output (metadata events, phase+level naming,
+// picosecond→microsecond conversion, per-rank thread ids).
+func goldenTrace() *Trace {
+	r0 := NewRank()
+	r0.SetPhase(Sort, 0, 0)
+	r0.AddPicos(2_000_000)                // 2 µs of presort
+	r0.SetPhase(FindSplitI, 0, 2_000_000) // level 0 begins
+	r0.AddPicos(1_500_000)
+	r0.AddComm(96, 96)
+	r0.SetPhase(PerformSplitII, 0, 3_500_000)
+	r0.AddPicos(500_000)
+	r0.SetPhase(FindSplitI, 1, 4_000_000)
+	r0.AddPicos(1_000_000)
+	r0.AddComm(48, 48)
+	r0.Finish(5_000_000)
+
+	r1 := NewRank()
+	r1.SetPhase(Sort, 0, 0)
+	r1.AddPicos(1_000_000)
+	// An untouched tag between spans: SetPhase with no attributed work must
+	// leave a timeline span but no bucket.
+	r1.SetPhase(Other, 0, 1_000_000)
+	r1.SetPhase(FindSplitI, 0, 1_250_000)
+	r1.AddPicos(2_250_000)
+	r1.AddComm(96, 96)
+	r1.Finish(3_500_000)
+
+	return &Trace{
+		Ranks:      []*RankTrace{r0, r1},
+		FinalPicos: []int64{5_000_000, 3_500_000},
+	}
+}
+
+// TestWriteChromeGolden pins the exact Chrome trace-event JSON for the
+// hand-built run. The format is an external contract — chrome://tracing,
+// Perfetto, and speedscope all parse these files — so any byte-level drift
+// (field renames, unit changes, event reordering) must be a deliberate,
+// reviewed change: regenerate with `go test ./internal/trace -run Golden -update`.
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WriteChrome output drifted from %s:\ngot:  %s\nwant: %s\n(regenerate with -update if the change is intentional)",
+			path, buf.Bytes(), want)
+	}
+}
