@@ -16,24 +16,33 @@ test:
 	$(GO) test ./...
 
 # One testing.B benchmark per experiment in DESIGN.md's index (repo
-# root), plus the per-package micro-benchmarks (e.g. internal/comm).
+# root), plus the per-package micro-benchmarks (e.g. internal/comm),
+# then regenerate the BENCH_*.json perf trajectory (EXP-HOTPATH):
+# `benchrunner -exp hotpath` appends one labeled run per invocation.
+BENCHLABEL ?=
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchrunner -exp hotpath -benchlabel "$(BENCHLABEL)"
 
 # Race-detect the packages with real goroutine concurrency: the simulated
 # machine (one goroutine per rank) and the engine driving it.
 race:
 	$(GO) test -race ./internal/comm ./internal/scalparc
 
-# Short fuzzing pass over the CSV reader (CI runs the same smoke).
+# Short fuzzing passes over the CSV reader and the gini scan kernel (CI
+# runs the same smokes).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dataset
+	$(GO) test -fuzz=FuzzSplitScan -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gini
 
-# Benchmark-regression guard for the binned reduce-scatter FindSplitI
-# (GUARD-BINNED in EXPERIMENTS.md); exits non-zero on regression.
+# Benchmark-regression guards, both CI steps; exit non-zero on regression:
+# GUARD-BINNED (binned reduce-scatter FindSplitI invariants) and
+# GUARD-HOTPATH (gini kernel ratio + allocation discipline vs the
+# checked-in BENCH_*.json trajectory) — see EXPERIMENTS.md.
 guard:
 	$(GO) run ./cmd/benchrunner -exp binnedguard
+	$(GO) run ./cmd/benchrunner -exp hotpathguard
 
 cover:
 	$(GO) test -cover ./...

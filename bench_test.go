@@ -11,7 +11,6 @@ package repro_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro/classify"
@@ -19,9 +18,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
-	"repro/internal/gini"
 	"repro/internal/nodetable"
-	"repro/internal/psort"
 	"repro/internal/scalparc"
 	"repro/internal/splitter"
 	"repro/internal/sprint"
@@ -203,75 +200,33 @@ func BenchmarkAllToAll(b *testing.B) {
 	}
 }
 
-// BenchmarkGiniScan is MICRO: the FindSplitII split-point scan throughput.
+// BenchmarkInduction is EXP-HOTPATH's headline figure: one full induction
+// at p=4 with allocation reporting; the BENCH_induction.json trajectory
+// records this benchmark's figures (see internal/bench.Hotpath).
+func BenchmarkInduction(b *testing.B) {
+	bench.BenchInduction(b, bench.HotpathRecords, bench.HotpathProcs)
+}
+
+// BenchmarkGiniScan is MICRO: the FindSplitII split-point scan throughput
+// (the production incremental kernel).
 func BenchmarkGiniScan(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	list := make([]dataset.ContEntry, 100_000)
-	hist := []int64{0, 0}
-	for i := range list {
-		cid := uint8(rng.Intn(2))
-		list[i] = dataset.ContEntry{Val: rng.Float64(), Rid: int32(i), Cid: cid}
-		hist[cid]++
-	}
-	b.SetBytes(int64(len(list)) * dataset.ContEntrySize)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := gini.NewMatrix(hist, nil)
-		best := 1.0
-		for _, e := range list {
-			m.Move(e.Cid)
-			if g := m.Split(); g < best {
-				best = g
-			}
-		}
-	}
+	bench.BenchGiniScanIncremental(b, bench.ScanEntries)
+}
+
+// BenchmarkGiniScanNaive is the frozen pre-optimization scan formulation;
+// the ratio to BenchmarkGiniScan is the kernel speedup GUARD-HOTPATH pins.
+func BenchmarkGiniScanNaive(b *testing.B) {
+	bench.BenchGiniScanNaive(b, bench.ScanEntries)
 }
 
 // BenchmarkNodeTable is MICRO: distributed node-table update + enquiry.
 func BenchmarkNodeTable(b *testing.B) {
-	const n, p = 100_000, 8
-	w := comm.NewWorld(p, timing.T3D())
-	b.SetBytes(n)
-	for i := 0; i < b.N; i++ {
-		w.Run(func(c *comm.Comm) {
-			nt := nodetable.New(c, n)
-			defer nt.Free()
-			lo, hi := dataset.BlockRange(n, p, c.Rank())
-			as := make([]nodetable.Assignment, 0, hi-lo)
-			rids := make([]int32, 0, hi-lo)
-			for rid := lo; rid < hi; rid++ {
-				as = append(as, nodetable.Assignment{Rid: int32(rid), Child: uint8(rid % 2)})
-				rids = append(rids, int32(n-1-rid))
-			}
-			nt.Update(as)
-			nt.Lookup(rids)
-		})
-	}
+	bench.BenchNodeTable(b, 100_000, 8)
 }
 
 // BenchmarkParallelSort is MICRO: the presort (sample sort + shift).
 func BenchmarkParallelSort(b *testing.B) {
-	const n, p = 200_000, 8
-	rng := rand.New(rand.NewSource(1))
-	entries := make([]dataset.ContEntry, n)
-	for i := range entries {
-		entries[i] = dataset.ContEntry{Val: rng.Float64(), Rid: int32(i)}
-	}
-	w := comm.NewWorld(p, timing.T3D())
-	b.SetBytes(int64(n) * dataset.ContEntrySize)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		locals := make([][]dataset.ContEntry, p)
-		for r := 0; r < p; r++ {
-			lo, hi := dataset.BlockRange(n, p, r)
-			locals[r] = append([]dataset.ContEntry(nil), entries[lo:hi]...)
-		}
-		b.StartTimer()
-		w.Run(func(c *comm.Comm) {
-			psort.Sort(c, locals[c.Rank()])
-		})
-	}
+	bench.BenchParallelSort(b, 200_000, 8)
 }
 
 // BenchmarkEndToEnd is the library-level path a user takes: generate,

@@ -30,12 +30,14 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, hotpath, hotpathguard, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
 	maxDepth := fs.Int("depth", 0, "maximum tree depth (0 = unlimited)")
 	traceOut := fs.String("trace", "", "write the phases experiment's per-rank timelines as Chrome trace-event JSON to this file")
+	benchDir := fs.String("benchdir", ".", "directory holding the BENCH_*.json trajectory files (hotpath, hotpathguard)")
+	benchLabel := fs.String("benchlabel", "", "run label -exp hotpath records in the BENCH_*.json files")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +192,24 @@ func run(args []string, out io.Writer) error {
 	if all || want["binnedguard"] {
 		n := int(float64(bench.PaperSizes[0]) * *scale)
 		if err := bench.BinnedGuard(out, n, 8, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	// hotpath appends to the checked-in BENCH_*.json trajectory files, so it
+	// only runs when asked for by name, never under -exp all.
+	if want["hotpath"] {
+		if err := bench.Hotpath(out, *benchDir, *benchLabel); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["hotpathguard"] {
+		if err := bench.HotpathGuard(out, *benchDir); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

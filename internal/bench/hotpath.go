@@ -1,0 +1,472 @@
+// EXP-HOTPATH: the allocation-free hot-path benchmarks and their JSON
+// perf trajectory.
+//
+// The benchmark bodies live here (exported, parameterized over size and
+// processor count) so the root bench_test.go benchmarks, the BENCH_*.json
+// emitter, and the CI regression guard all measure exactly the same code.
+// Hotpath appends a labeled run to BENCH_induction.json / BENCH_scan.json;
+// HotpathGuard re-measures quickly and fails CI when the kernel or the
+// allocation discipline regresses against the checked-in trajectory.
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/gini"
+	"repro/internal/nodetable"
+	"repro/internal/psort"
+	"repro/internal/scalparc"
+	"repro/internal/splitter"
+	"repro/internal/timing"
+)
+
+// The fixed workloads every EXP-HOTPATH measurement uses, so runs recorded
+// months apart stay comparable.
+const (
+	HotpathRecords = 20_000  // induction records (Quest function 2, seven attrs)
+	HotpathProcs   = 4       // induction processor count
+	ScanEntries    = 100_000 // gini scan attribute-list length
+)
+
+// InductionFile and ScanFile are the checked-in trajectory files Hotpath
+// appends to (relative to the repo root).
+const (
+	InductionFile = "BENCH_induction.json"
+	ScanFile      = "BENCH_scan.json"
+)
+
+// sink defeats dead-code elimination of the benchmarked scans.
+var sink float64
+
+// BenchInduction measures one full ScalParC induction (presort + four
+// phases, every level) of n Quest records on p simulated ranks — the
+// end-to-end figure the arena work targets. Allocation figures are the real
+// point: steady-state levels must not allocate per record.
+func BenchInduction(b *testing.B, n, p int) {
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 1}, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := comm.NewWorld(p, timing.T3D())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scalparc.Train(w, tab, splitter.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scanFixture builds the two-class sorted-attribute workload both scan
+// benchmarks walk.
+func scanFixture(n int) ([]dataset.ContEntry, []int64) {
+	rng := rand.New(rand.NewSource(1))
+	list := make([]dataset.ContEntry, n)
+	hist := []int64{0, 0}
+	for i := range list {
+		cid := uint8(rng.Intn(2))
+		list[i] = dataset.ContEntry{Val: rng.Float64(), Rid: int32(i), Cid: cid}
+		hist[cid]++
+	}
+	return list, hist
+}
+
+// BenchGiniScanIncremental measures the production split-point scan: the
+// incremental Matrix keeps running partition sizes and integer sums of
+// squared class counts, so each candidate is one O(1) BinarySplit.
+func BenchGiniScanIncremental(b *testing.B, n int) {
+	list, hist := scanFixture(n)
+	b.SetBytes(int64(len(list)) * dataset.ContEntrySize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := gini.NewMatrix(hist, nil)
+		best := 1.0
+		for _, e := range list {
+			m.Move(e.Cid)
+			if g := m.Split(); g < best {
+				best = g
+			}
+		}
+		sink = best
+	}
+}
+
+// BenchGiniScanNaive measures the formulation the incremental kernel
+// replaced — an O(classes) re-summation with per-class divisions at every
+// candidate — and is deliberately frozen: it doubles as the guard's
+// host-speed probe, and its ratio to the incremental scan is the
+// host-independent kernel speedup.
+func BenchGiniScanNaive(b *testing.B, n int) {
+	list, hist := scanFixture(n)
+	below := make([]int64, len(hist))
+	above := make([]int64, len(hist))
+	b.SetBytes(int64(len(list)) * dataset.ContEntrySize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range below {
+			below[j] = 0
+		}
+		copy(above, hist)
+		best := 1.0
+		for _, e := range list {
+			below[e.Cid]++
+			above[e.Cid]--
+			if g := gini.SplitIndex(below, above); g < best {
+				best = g
+			}
+		}
+		sink = best
+	}
+}
+
+// BenchNodeTable measures the distributed node table's update + enquiry
+// round trip (the parallel hashing paradigm) for n records on p ranks.
+func BenchNodeTable(b *testing.B, n, p int) {
+	w := comm.NewWorld(p, timing.T3D())
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(c *comm.Comm) {
+			nt := nodetable.New(c, n)
+			defer nt.Free()
+			lo, hi := dataset.BlockRange(n, p, c.Rank())
+			as := make([]nodetable.Assignment, 0, hi-lo)
+			rids := make([]int32, 0, hi-lo)
+			for rid := lo; rid < hi; rid++ {
+				as = append(as, nodetable.Assignment{Rid: int32(rid), Child: uint8(rid % 2)})
+				rids = append(rids, int32(n-1-rid))
+			}
+			nt.Update(as)
+			nt.Lookup(rids)
+		})
+	}
+}
+
+// BenchParallelSort measures the presort (sample sort + block shift) of n
+// entries on p ranks.
+func BenchParallelSort(b *testing.B, n, p int) {
+	rng := rand.New(rand.NewSource(1))
+	entries := make([]dataset.ContEntry, n)
+	for i := range entries {
+		entries[i] = dataset.ContEntry{Val: rng.Float64(), Rid: int32(i)}
+	}
+	w := comm.NewWorld(p, timing.T3D())
+	b.SetBytes(int64(n) * dataset.ContEntrySize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		locals := make([][]dataset.ContEntry, p)
+		for r := 0; r < p; r++ {
+			lo, hi := dataset.BlockRange(n, p, r)
+			locals[r] = append([]dataset.ContEntry(nil), entries[lo:hi]...)
+		}
+		b.StartTimer()
+		w.Run(func(c *comm.Comm) {
+			psort.Sort(c, locals[c.Rank()])
+		})
+	}
+}
+
+// BenchMeasure is one benchmark's figures in a BENCH_*.json run.
+type BenchMeasure struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerEntry  float64 `json:"ns_per_entry,omitempty"` // scans: NsPerOp / entries
+}
+
+// BenchRun is one labeled measurement of every benchmark in a file, with
+// enough host metadata to judge cross-run comparability.
+type BenchRun struct {
+	Label      string                  `json:"label"`
+	Date       string                  `json:"date"`
+	GoVersion  string                  `json:"go"`
+	GOOS       string                  `json:"goos"`
+	GOARCH     string                  `json:"goarch"`
+	NumCPU     int                     `json:"numcpu"`
+	Benchmarks map[string]BenchMeasure `json:"benchmarks"`
+}
+
+// BenchFile is the on-disk shape of BENCH_induction.json / BENCH_scan.json:
+// an append-only trajectory of runs, oldest first.
+type BenchFile struct {
+	Experiment string     `json:"experiment"`
+	Notes      string     `json:"notes"`
+	Runs       []BenchRun `json:"runs"`
+}
+
+// LoadBenchFile reads a trajectory file; a missing file yields an empty
+// trajectory with the given notes.
+func LoadBenchFile(path, notes string) (*BenchFile, error) {
+	f := &BenchFile{Experiment: "EXP-HOTPATH", Notes: notes}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return f, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Save writes the trajectory back, indented and newline-terminated.
+func (f *BenchFile) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Latest returns the newest run, or nil for an empty trajectory.
+func (f *BenchFile) Latest() *BenchRun {
+	if len(f.Runs) == 0 {
+		return nil
+	}
+	return &f.Runs[len(f.Runs)-1]
+}
+
+// Baseline returns the oldest run — the pre-optimization measurement the
+// improvement gates compare against.
+func (f *BenchFile) Baseline() *BenchRun {
+	if len(f.Runs) == 0 {
+		return nil
+	}
+	return &f.Runs[0]
+}
+
+// measure converts a testing.Benchmark result; entries > 0 adds the
+// per-entry figure for scan benchmarks.
+func measure(r testing.BenchmarkResult, entries int) BenchMeasure {
+	m := BenchMeasure{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if entries > 0 {
+		m.NsPerEntry = m.NsPerOp / float64(entries)
+	}
+	return m
+}
+
+// hotpathRun is one fresh measurement of the full EXP-HOTPATH suite.
+type hotpathRun struct {
+	induction BenchMeasure
+	nodeTable BenchMeasure
+	sort      BenchMeasure
+	scanInc   BenchMeasure
+	scanNaive BenchMeasure
+}
+
+// measureHotpath runs the suite in-process via testing.Benchmark (the
+// standard auto-scaling ~1s per benchmark).
+func measureHotpath(w io.Writer) hotpathRun {
+	var r hotpathRun
+	step := func(name string, m *BenchMeasure, entries int, f func(*testing.B)) {
+		*m = measure(testing.Benchmark(f), entries)
+		if entries > 0 {
+			fmt.Fprintf(w, "  %-20s %10.2f ns/entry  %6d B/op  %5d allocs/op\n",
+				name, m.NsPerEntry, m.BytesPerOp, m.AllocsPerOp)
+		} else {
+			fmt.Fprintf(w, "  %-20s %10.0f ns/op  %9d B/op  %7d allocs/op\n",
+				name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+	}
+	step("Induction", &r.induction, 0, func(b *testing.B) { BenchInduction(b, HotpathRecords, HotpathProcs) })
+	step("NodeTable", &r.nodeTable, 0, func(b *testing.B) { BenchNodeTable(b, 100_000, 8) })
+	step("ParallelSort", &r.sort, 0, func(b *testing.B) { BenchParallelSort(b, 200_000, 8) })
+	step("GiniScanIncremental", &r.scanInc, ScanEntries, func(b *testing.B) { BenchGiniScanIncremental(b, ScanEntries) })
+	step("GiniScanNaive", &r.scanNaive, ScanEntries, func(b *testing.B) { BenchGiniScanNaive(b, ScanEntries) })
+	return r
+}
+
+func hotpathMeta(label string) BenchRun {
+	return BenchRun{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+const (
+	inductionNotes = "EXP-HOTPATH trajectory: end-to-end induction (Quest F2, 20k records, p=4, T3D model) plus the node-table (n=100k, p=8) and presort (n=200k, p=8) micro-benchmarks. Append-only; oldest run is the pre-optimization baseline."
+	scanNotes      = "EXP-HOTPATH trajectory: gini split-point scan over 100k sorted two-class entries, incremental O(1)-per-candidate kernel vs the naive per-candidate re-summation it replaced. The naive body is frozen and doubles as the guard's host-speed probe."
+)
+
+// Hotpath runs and records EXP-HOTPATH: it measures the suite and appends a
+// labeled run to dir's BENCH_induction.json and BENCH_scan.json, printing
+// the resulting trajectory.
+func Hotpath(w io.Writer, dir, label string) error {
+	fmt.Fprintln(w, "EXP-HOTPATH — allocation-free hot paths (appending to BENCH_*.json)")
+	run := measureHotpath(w)
+	if label == "" {
+		label = "measured " + time.Now().UTC().Format("2006-01-02")
+	}
+
+	ind, err := LoadBenchFile(filepath.Join(dir, InductionFile), inductionNotes)
+	if err != nil {
+		return err
+	}
+	indRun := hotpathMeta(label)
+	indRun.Benchmarks = map[string]BenchMeasure{
+		"Induction":    run.induction,
+		"NodeTable":    run.nodeTable,
+		"ParallelSort": run.sort,
+	}
+	ind.Runs = append(ind.Runs, indRun)
+	if err := ind.Save(filepath.Join(dir, InductionFile)); err != nil {
+		return err
+	}
+
+	scan, err := LoadBenchFile(filepath.Join(dir, ScanFile), scanNotes)
+	if err != nil {
+		return err
+	}
+	scanRun := hotpathMeta(label)
+	scanRun.Benchmarks = map[string]BenchMeasure{
+		"GiniScanIncremental": run.scanInc,
+		"GiniScanNaive":       run.scanNaive,
+	}
+	scan.Runs = append(scan.Runs, scanRun)
+	if err := scan.Save(filepath.Join(dir, ScanFile)); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\ntrajectory (induction ns/op, allocs/op; scan ns/entry incremental|naive):")
+	for i := range ind.Runs {
+		r := &ind.Runs[i]
+		line := fmt.Sprintf("  %-38s", r.Label)
+		if m, ok := r.Benchmarks["Induction"]; ok {
+			line += fmt.Sprintf("  %11.0f ns  %6d allocs", m.NsPerOp, m.AllocsPerOp)
+		}
+		if i < len(scan.Runs) {
+			bm := scan.Runs[i].Benchmarks
+			inc, naive := bm["GiniScanIncremental"], bm["GiniScanNaive"]
+			if inc.NsPerEntry > 0 {
+				line += fmt.Sprintf("  %5.2f|%5.2f ns/entry", inc.NsPerEntry, naive.NsPerEntry)
+			} else if naive.NsPerEntry > 0 {
+				line += fmt.Sprintf("      -|%5.2f ns/entry", naive.NsPerEntry)
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+// Guard thresholds: the kernel must stay >= 2x the naive formulation; a
+// fresh measurement may regress at most 20% against the checked-in latest
+// run (ns host-normalized by the frozen naive probe, allocs directly); and
+// the checked-in trajectory itself must preserve the recorded win over the
+// pre-optimization baseline (>= 25% ns, >= 50% allocs — both recorded on
+// one host, so directly comparable).
+const (
+	guardKernelRatio = 2.0
+	guardRegress     = 1.20
+	guardNsWin       = 0.75
+	guardAllocsWin   = 0.50
+)
+
+// hotpathChecks applies the guard gates to a fresh measurement against the
+// checked-in trajectory, returning every violated gate.
+func hotpathChecks(fresh hotpathRun, ind, scan *BenchFile) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	// Gate 1 (host-independent): the incremental kernel beats the frozen
+	// naive formulation in this very process.
+	if fresh.scanInc.NsPerEntry <= 0 || fresh.scanNaive.NsPerEntry/fresh.scanInc.NsPerEntry < guardKernelRatio {
+		fail("gini kernel regression: incremental %.2f ns/entry vs naive %.2f ns/entry — ratio %.2fx < %.1fx",
+			fresh.scanInc.NsPerEntry, fresh.scanNaive.NsPerEntry,
+			fresh.scanNaive.NsPerEntry/fresh.scanInc.NsPerEntry, guardKernelRatio)
+	}
+
+	latestInd, latestScan := ind.Latest(), scan.Latest()
+	if latestInd == nil || latestScan == nil {
+		fail("missing trajectory: %s or %s has no runs", InductionFile, ScanFile)
+		return errs
+	}
+	recInd, okInd := latestInd.Benchmarks["Induction"]
+	recNaive, okNaive := latestScan.Benchmarks["GiniScanNaive"]
+	if !okInd || !okNaive {
+		fail("latest trajectory run lacks Induction or GiniScanNaive figures")
+		return errs
+	}
+
+	// Gate 2 (host-independent): steady-state allocations are a property of
+	// the code, not the host.
+	if float64(fresh.induction.AllocsPerOp) > float64(recInd.AllocsPerOp)*guardRegress {
+		fail("induction allocation regression: %d allocs/op vs recorded %d (>%.0f%%)",
+			fresh.induction.AllocsPerOp, recInd.AllocsPerOp, (guardRegress-1)*100)
+	}
+
+	// Gate 3: ns/op vs the recorded latest run, normalized by how fast this
+	// host runs the frozen naive scan relative to the recording host.
+	if recNaive.NsPerEntry > 0 && recInd.NsPerOp > 0 {
+		host := fresh.scanNaive.NsPerEntry / recNaive.NsPerEntry
+		if fresh.induction.NsPerOp > recInd.NsPerOp*host*guardRegress {
+			fail("induction ns/op regression: %.0f ns/op vs recorded %.0f x host factor %.2f (>%.0f%% over)",
+				fresh.induction.NsPerOp, recInd.NsPerOp, host, (guardRegress-1)*100)
+		}
+	}
+
+	// Gate 4: the checked-in trajectory itself must still show the win over
+	// the pre-optimization baseline (first run in the file).
+	if base := ind.Baseline(); base != latestInd {
+		if bm, ok := base.Benchmarks["Induction"]; ok {
+			if recInd.NsPerOp > bm.NsPerOp*guardNsWin {
+				fail("trajectory lost the induction ns win: latest %.0f > %.0f%% of baseline %.0f",
+					recInd.NsPerOp, guardNsWin*100, bm.NsPerOp)
+			}
+			if float64(recInd.AllocsPerOp) > float64(bm.AllocsPerOp)*guardAllocsWin {
+				fail("trajectory lost the induction allocs win: latest %d > %.0f%% of baseline %d",
+					recInd.AllocsPerOp, guardAllocsWin*100, bm.AllocsPerOp)
+			}
+		}
+	}
+	return errs
+}
+
+// HotpathGuard runs and prints GUARD-HOTPATH, the CI regression gate for
+// the allocation-free hot paths. It re-measures the suite and returns an
+// error — failing CI — when any gate trips; see hotpathChecks.
+func HotpathGuard(w io.Writer, dir string) error {
+	fmt.Fprintln(w, "GUARD-HOTPATH — incremental gini kernel and allocation discipline")
+	ind, err := LoadBenchFile(filepath.Join(dir, InductionFile), inductionNotes)
+	if err != nil {
+		return err
+	}
+	scan, err := LoadBenchFile(filepath.Join(dir, ScanFile), scanNotes)
+	if err != nil {
+		return err
+	}
+	fresh := measureHotpath(w)
+	if errs := hotpathChecks(fresh, ind, scan); len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	fmt.Fprintf(w, "ok: kernel %.2fx naive, %d allocs/op (recorded %d), within %.0f%% of the recorded trajectory\n",
+		fresh.scanNaive.NsPerEntry/fresh.scanInc.NsPerEntry,
+		fresh.induction.AllocsPerOp, ind.Latest().Benchmarks["Induction"].AllocsPerOp,
+		(guardRegress-1)*100)
+	return nil
+}

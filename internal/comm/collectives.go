@@ -12,6 +12,32 @@ func sizeOf[T any]() int {
 	return int(unsafe.Sizeof(t))
 }
 
+// ensureLen returns buf resliced to length n, reallocating only when the
+// capacity is insufficient. It is the growth primitive of the *Into
+// collective variants and of the scratch arenas built on top of them.
+func ensureLen[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// The *Into collective variants reuse a caller-provided output buffer
+// (growing it only when too small) so steady-state callers allocate
+// nothing per call. Two rules keep reuse race-free under the barrier
+// protocol:
+//
+//  1. out must not alias x: other ranks fold the caller's deposited x
+//     concurrently with the caller writing out.
+//  2. The caller must not mutate x (nor reuse out as a later input) until
+//     it has returned from a subsequent collective in which every rank
+//     participates — returning from that collective proves every rank has
+//     entered it, and therefore has finished folding this one's deposits.
+//
+// The per-level induction loop satisfies rule 2 naturally: every scratch
+// buffer is refilled at the next level, after the current level's trailing
+// collectives.
+
 // a2aPayload carries a rank's send matrix through the deposit together
 // with its own-sent byte total, so no receiver has to re-walk every other
 // rank's p buffer headers just to recover a number the sender already
@@ -29,6 +55,14 @@ type a2aPayload[T any] struct {
 // This is the primitive of the paper's parallel hashing paradigm: with m
 // keys hashed per processor it runs in O(m) time provided m is Ω(p).
 func AllToAll[T any](c *Comm, send [][]T) [][]T {
+	return AllToAllInto(c, send, nil)
+}
+
+// AllToAllInto is AllToAll reusing recv as the received-buffer index
+// (grown as needed; see the *Into reuse rules above — note the received
+// buffers themselves alias the senders' buffers either way, only the
+// p-entry index is pooled).
+func AllToAllInto[T any](c *Comm, send, recv [][]T) [][]T {
 	p := c.Size()
 	if len(send) != p {
 		panic(fmt.Sprintf("comm: AllToAll send has %d buffers; world has %d ranks", len(send), p))
@@ -43,7 +77,7 @@ func AllToAll[T any](c *Comm, send [][]T) [][]T {
 	}
 	all := c.exchange(a2aPayload[T]{mat: send, sent: own})
 
-	recv := make([][]T, p)
+	recv = ensureLen(recv, p)
 	recvBytes, maxSent := 0, 0
 	for r := 0; r < p; r++ {
 		pl := all[r].data.(a2aPayload[T])
@@ -68,11 +102,17 @@ func AllToAll[T any](c *Comm, send [][]T) [][]T {
 // op (applied in rank order, so non-commutative ops are still deterministic)
 // and returns the combined vector on every rank.
 func AllReduce[T any](c *Comm, x []T, op func(a, b T) T) []T {
+	return AllReduceInto(c, x, nil, op)
+}
+
+// AllReduceInto is AllReduce writing into out (grown as needed; see the
+// *Into reuse rules above). It returns the result slice.
+func AllReduceInto[T any](c *Comm, x, out []T, op func(a, b T) T) []T {
 	p := c.Size()
 	es := sizeOf[T]()
 	all := c.exchange(x)
 	n := len(x)
-	out := make([]T, n)
+	out = ensureLen(out, n)
 	first := true
 	for r := 0; r < p; r++ {
 		v := all[r].data.([]T)
@@ -104,17 +144,28 @@ func AllReduceSum(c *Comm, x []int64) []int64 {
 	return AllReduce(c, x, func(a, b int64) int64 { return a + b })
 }
 
+// AllReduceSumInto is AllReduceSum writing into out (grown as needed).
+func AllReduceSumInto(c *Comm, x, out []int64) []int64 {
+	return AllReduceInto(c, x, out, func(a, b int64) int64 { return a + b })
+}
+
 // ExScan computes an exclusive prefix scan: rank r receives the fold (in
 // rank order) of the vectors contributed by ranks 0..r-1; rank 0 receives a
 // vector of zero values. This is the operation FindSplitI uses to turn local
 // class-count matrices into the global count matrix at the start of each
 // rank's list fragment.
 func ExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
+	return ExScanInto(c, x, nil, op, zero)
+}
+
+// ExScanInto is ExScan writing into out (grown as needed; see the *Into
+// reuse rules above).
+func ExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []T {
 	p := c.Size()
 	es := sizeOf[T]()
 	all := c.exchange(x)
 	n := len(x)
-	out := make([]T, n)
+	out = ensureLen(out, n)
 	for i := range out {
 		out[i] = zero
 	}
@@ -142,17 +193,28 @@ func ExScanSum(c *Comm, x []int64) []int64 {
 	return ExScan(c, x, func(a, b int64) int64 { return a + b }, 0)
 }
 
+// ExScanSumInto is ExScanSum writing into out (grown as needed).
+func ExScanSumInto(c *Comm, x, out []int64) []int64 {
+	return ExScanInto(c, x, out, func(a, b int64) int64 { return a + b }, 0)
+}
+
 // ReverseExScan is ExScan with the rank order reversed: rank r receives the
 // fold (in increasing rank order) of the vectors contributed by ranks
 // r+1..p-1; the last rank receives zero values. FindSplitII uses it to
 // learn the first attribute value of the next non-empty segment to the
 // right, in O(log p) modeled rounds instead of an O(p)-bytes allgather.
 func ReverseExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
+	return ReverseExScanInto(c, x, nil, op, zero)
+}
+
+// ReverseExScanInto is ReverseExScan writing into out (grown as needed;
+// see the *Into reuse rules above).
+func ReverseExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []T {
 	p := c.Size()
 	es := sizeOf[T]()
 	all := c.exchange(x)
 	n := len(x)
-	out := make([]T, n)
+	out = ensureLen(out, n)
 	for i := range out {
 		out[i] = zero
 	}
@@ -272,6 +334,12 @@ func ReduceSum(c *Comm, root int, x []int64) []int64 {
 // rank contributes the full local count vector but owns — and pays receive
 // bytes for — only its own slice of the global histogram.
 func ReduceScatter[T any](c *Comm, x []T, counts []int, op func(a, b T) T) []T {
+	return ReduceScatterInto(c, x, nil, counts, op)
+}
+
+// ReduceScatterInto is ReduceScatter writing into out (grown as needed;
+// see the *Into reuse rules above).
+func ReduceScatterInto[T any](c *Comm, x, out []T, counts []int, op func(a, b T) T) []T {
 	p := c.Size()
 	if len(counts) != p {
 		panic(fmt.Sprintf("comm: ReduceScatter has %d counts; world has %d ranks", len(counts), p))
@@ -293,7 +361,7 @@ func ReduceScatter[T any](c *Comm, x []T, counts []int, op func(a, b T) T) []T {
 	es := sizeOf[T]()
 	all := c.exchange(x)
 	mine := counts[c.Rank()]
-	out := make([]T, mine)
+	out = ensureLen(out, mine)
 	first := true
 	for r := 0; r < p; r++ {
 		v := all[r].data.([]T)
@@ -328,6 +396,12 @@ func ReduceScatter[T any](c *Comm, x []T, counts []int, op func(a, b T) T) []T {
 // of the int64 count matrices).
 func ReduceScatterSum32(c *Comm, x []uint32, counts []int) []uint32 {
 	return ReduceScatter(c, x, counts, func(a, b uint32) uint32 { return a + b })
+}
+
+// ReduceScatterSum32Into is ReduceScatterSum32 writing into out (grown as
+// needed).
+func ReduceScatterSum32Into(c *Comm, x, out []uint32, counts []int) []uint32 {
+	return ReduceScatterInto(c, x, out, counts, func(a, b uint32) uint32 { return a + b })
 }
 
 // Bcast distributes the root's vector to every rank. Non-root ranks pass

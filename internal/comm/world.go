@@ -86,6 +86,13 @@ type World struct {
 	mem    []MemMeter
 	traces []*trace.RankTrace
 
+	// exchBuf is each rank's pooled deposit-snapshot slice: exchange copies
+	// the cell array into the calling rank's slot instead of allocating a
+	// fresh slice per collective. The snapshot is only read by its own rank,
+	// between the call returning and that rank's next collective, so reuse
+	// is race-free under the barrier protocol.
+	exchBuf [][]deposit
+
 	mail [][]chan pmessage // mail[src][dst]
 }
 
@@ -107,15 +114,19 @@ func NewWorld(p int, model timing.Model) *World {
 		panic(fmt.Sprintf("comm: NewWorld with p=%d; need p >= 1", p))
 	}
 	w := &World{
-		p:      p,
-		model:  model,
-		bar:    newBarrier(p),
-		cells:  make([]deposit, p),
-		clocks: make([]int64, p),
-		stats:  make([]Stats, p),
-		mem:    make([]MemMeter, p),
-		traces: make([]*trace.RankTrace, p),
-		mail:   make([][]chan pmessage, p),
+		p:       p,
+		model:   model,
+		bar:     newBarrier(p),
+		cells:   make([]deposit, p),
+		clocks:  make([]int64, p),
+		stats:   make([]Stats, p),
+		mem:     make([]MemMeter, p),
+		traces:  make([]*trace.RankTrace, p),
+		exchBuf: make([][]deposit, p),
+		mail:    make([][]chan pmessage, p),
+	}
+	for i := range w.exchBuf {
+		w.exchBuf[i] = make([]deposit, p)
 	}
 	for i := range w.traces {
 		w.traces[i] = trace.NewRank()
@@ -339,7 +350,7 @@ func (c *Comm) exchange(data any) []deposit {
 	w := c.w
 	w.cells[c.rank] = deposit{data: data, clock: w.clocks[c.rank]}
 	w.bar.await()
-	all := make([]deposit, w.p)
+	all := w.exchBuf[c.rank]
 	copy(all, w.cells)
 	w.bar.await()
 	var max int64

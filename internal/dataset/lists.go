@@ -2,7 +2,7 @@ package dataset
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"unsafe"
 )
 
@@ -93,21 +93,29 @@ func (l *Lists) Bytes() int64 {
 	return b
 }
 
-// SortContinuous sorts every continuous list by value (ties broken by
-// record id, which makes the order — and therefore the induced tree —
-// deterministic). This is the serial analogue of the presort phase.
+// CompareContEntries is the total order on continuous-list entries: by
+// value, ties broken by record id. Record ids are unique, so the order is
+// strict — any correct sort, stable or not, yields the same permutation,
+// which keeps the induced tree deterministic.
+func CompareContEntries(a, b ContEntry) int {
+	if a.Val != b.Val {
+		if a.Val < b.Val {
+			return -1
+		}
+		return 1
+	}
+	return int(a.Rid) - int(b.Rid)
+}
+
+// SortContinuous sorts every continuous list in CompareContEntries order.
+// This is the serial analogue of the presort phase.
 func (l *Lists) SortContinuous() {
 	for a := range l.Schema.Attrs {
 		list := l.Cont[a]
 		if list == nil {
 			continue
 		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].Val != list[j].Val {
-				return list[i].Val < list[j].Val
-			}
-			return list[i].Rid < list[j].Rid
-		})
+		slices.SortFunc(list, CompareContEntries)
 	}
 }
 

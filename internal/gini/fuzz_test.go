@@ -1,0 +1,97 @@
+package gini
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzSplitScan drives a continuous-split scan over a random sorted class
+// list and checks, at every valid candidate boundary, that the incremental
+// formulation (Matrix: running sizes and sums of squares, O(1) per
+// candidate) agrees with two naive references:
+//
+//   - bit-exactly with BinarySplit over histograms recounted from scratch
+//     at every boundary (so the Move bookkeeping can never drift), and
+//   - within float tolerance with the legacy per-class-division SplitIndex
+//     formulation it replaced.
+//
+// The winning (index, gini) pair must match the recounted reference
+// bit-for-bit — the determinism guarantee the parallel classifiers build
+// on. Equal-value runs are skipped exactly like the real scans skip them
+// (a threshold inside a run of equal values is not a valid candidate).
+func FuzzSplitScan(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 1, 1, 0, 2, 1, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{5, 9, 1, 9, 2, 9, 3, 1, 4, 1, 0, 7})
+	f.Add([]byte{3, 0, 1, 1, 1, 2, 1, 0, 2, 1, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			t.Skip()
+		}
+		nc := int(data[0])%5 + 2
+		type entry struct {
+			cls uint8
+			val int
+		}
+		var entries []entry
+		for i := 1; i+1 < len(data); i += 2 {
+			// Small value domain so equal-value runs are common.
+			entries = append(entries, entry{cls: data[i] % uint8(nc), val: int(data[i+1] % 8)})
+		}
+		if len(entries) < 2 {
+			t.Skip()
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].val < entries[j].val })
+
+		total := make([]int64, nc)
+		for _, e := range entries {
+			total[e.cls]++
+		}
+
+		m := NewMatrix(total, nil)
+		incIdx, refIdx := -1, -1
+		incBest, refBest := math.Inf(1), math.Inf(1)
+		recount := make([]int64, nc)
+		above := make([]int64, nc)
+		for j, e := range entries {
+			m.Move(e.cls)
+			recount[e.cls]++
+			if j+1 >= len(entries) || entries[j+1].val == e.val {
+				continue // not a boundary: end of list or equal-value run
+			}
+			g := m.Split()
+
+			// Reference 1: recount both histograms from scratch, same
+			// BinarySplit kernel — must agree bit-for-bit.
+			var nb, sqb, na, sqa int64
+			for c := 0; c < nc; c++ {
+				above[c] = total[c] - recount[c]
+				nb += recount[c]
+				sqb += recount[c] * recount[c]
+				na += above[c]
+				sqa += above[c] * above[c]
+			}
+			ref := BinarySplit(nb, sqb, na, sqa)
+			if g != ref {
+				t.Fatalf("boundary %d: incremental gini %v != recounted gini %v", j, g, ref)
+			}
+
+			// Reference 2: the legacy per-class-division formulation.
+			legacy := SplitIndex(recount, above)
+			if math.Abs(g-legacy) > 1e-9 {
+				t.Fatalf("boundary %d: incremental gini %v vs legacy SplitIndex %v", j, g, legacy)
+			}
+
+			if g < incBest {
+				incBest, incIdx = g, j
+			}
+			if ref < refBest {
+				refBest, refIdx = ref, j
+			}
+		}
+		if incIdx != refIdx || incBest != refBest {
+			t.Fatalf("winner mismatch: incremental (%d, %v) vs recounted (%d, %v)", incIdx, incBest, refIdx, refBest)
+		}
+	})
+}

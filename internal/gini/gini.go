@@ -5,6 +5,15 @@
 // gini_i = 1 - Σ_j (n_ij/n_i)², and the gini of a d-way split of n records
 // is gini_split = Σ_i (n_i/n)·gini_i. The split-determining phase picks the
 // condition minimizing gini_split.
+//
+// The continuous-split scan is the hot path: a Matrix maintains running
+// integer partition sizes and sums of squared class counts (moving one
+// record of a class with h records below changes Σ_j h_j² by 2h+1), so each
+// candidate's gini is an O(1) evaluation of BinarySplit instead of an
+// O(classes) re-summation with per-class divisions. All gini values remain
+// pure functions of integer class counts, so every path that reaches the
+// same counts — serial scan, prefix-scan-seeded parallel scan, binned
+// histogram — computes bit-identical float64 values.
 package gini
 
 // Index returns the gini index of a class histogram: 1 - Σ (h_j/n)².
@@ -15,6 +24,11 @@ func Index(h []int64) float64 {
 	for _, c := range h {
 		n += c
 	}
+	return indexN(h, n)
+}
+
+// indexN is Index with the histogram total already reduced.
+func indexN(h []int64, n int64) float64 {
 	if n == 0 {
 		return 0
 	}
@@ -36,6 +50,14 @@ func SplitIndex(parts ...[]int64) float64 {
 			total += c
 		}
 	}
+	return SplitIndexTotal(total, parts...)
+}
+
+// SplitIndexTotal is SplitIndex with the record total precomputed by the
+// caller (the node size, which callers evaluating many candidate splits of
+// one node already know). Each partition is reduced exactly once; the result
+// is bit-identical to SplitIndex of the same partitions.
+func SplitIndexTotal(total int64, parts ...[]int64) float64 {
 	if total == 0 {
 		return 0
 	}
@@ -48,7 +70,35 @@ func SplitIndex(parts ...[]int64) float64 {
 		if n == 0 {
 			continue
 		}
-		sum += float64(n) / float64(total) * Index(p)
+		sum += float64(n) / float64(total) * indexN(p, n)
+	}
+	return sum
+}
+
+// BinarySplit returns the weighted gini of a binary split from the two
+// partition sizes and integer sums of squared class counts:
+//
+//	(n_b/n)·(1 - sq_b/n_b²) + (n_a/n)·(1 - sq_a/n_a²)
+//
+// It is the O(1) kernel of the continuous-split scan. Both Matrix.Split and
+// the binned boundary evaluation funnel through this one expression, so a
+// candidate's gini depends only on the integer counts, never on which scan
+// formulation produced them. The sums of squares are exact: class counts
+// are bounded by the int32 record-id space, so Σ h_j² ≤ n² < 2⁶².
+func BinarySplit(nBelow, sqBelow, nAbove, sqAbove int64) float64 {
+	total := nBelow + nAbove
+	if total == 0 {
+		return 0
+	}
+	tf := float64(total)
+	sum := 0.0
+	if nBelow > 0 {
+		nf := float64(nBelow)
+		sum += nf / tf * (1 - float64(sqBelow)/(nf*nf))
+	}
+	if nAbove > 0 {
+		nf := float64(nAbove)
+		sum += nf / tf * (1 - float64(sqAbove)/(nf*nf))
 	}
 	return sum
 }
@@ -57,10 +107,15 @@ func SplitIndex(parts ...[]int64) float64 {
 // split: Below counts the classes of records with values at or before the
 // candidate point, Above the rest. A split-determining scan starts with
 // everything Above and calls Move once per entry as the candidate point
-// advances through the (sorted) list.
+// advances through the (sorted) list. Alongside the histograms the matrix
+// maintains the partition sizes and integer sums of squared counts, making
+// Split O(1) per candidate.
 type Matrix struct {
 	Below []int64
 	Above []int64
+
+	nBelow, nAbove   int64 // partition sizes Σ_j h_j
+	sqBelow, sqAbove int64 // Σ_j h_j², maintained incrementally
 }
 
 // NewMatrix creates a matrix with all counts in Above, initialised from the
@@ -68,26 +123,56 @@ type Matrix struct {
 // preceding this scan's starting position — the parallel formulation seeds
 // this from an exclusive prefix scan; serial scans pass nil).
 func NewMatrix(total, alreadyBelow []int64) *Matrix {
-	m := &Matrix{
-		Below: make([]int64, len(total)),
-		Above: make([]int64, len(total)),
+	m := &Matrix{}
+	m.Reset(total, alreadyBelow)
+	return m
+}
+
+// Reset re-seeds the matrix for a new scan, reusing its backing arrays so a
+// worker can drive every (node, attribute) scan of a level through one
+// matrix without allocating.
+func (m *Matrix) Reset(total, alreadyBelow []int64) {
+	if cap(m.Below) < len(total) {
+		m.Below = make([]int64, len(total))
+		m.Above = make([]int64, len(total))
 	}
+	m.Below = m.Below[:len(total)]
+	m.Above = m.Above[:len(total)]
 	copy(m.Above, total)
+	for j := range m.Below {
+		m.Below[j] = 0
+	}
 	for j := range alreadyBelow {
 		m.Below[j] = alreadyBelow[j]
 		m.Above[j] -= alreadyBelow[j]
 	}
-	return m
+	m.nBelow, m.sqBelow = sumAndSquares(m.Below)
+	m.nAbove, m.sqAbove = sumAndSquares(m.Above)
+}
+
+func sumAndSquares(h []int64) (n, sq int64) {
+	for _, c := range h {
+		n += c
+		sq += c * c
+	}
+	return n, sq
 }
 
 // Move transfers one record of the given class from Above to Below,
-// advancing the candidate split point past it.
+// advancing the candidate split point past it. (h+1)² - h² = 2h+1, so the
+// running sums of squares update in O(1).
 func (m *Matrix) Move(class uint8) {
-	m.Below[class]++
-	m.Above[class]--
+	b := m.Below[class]
+	m.sqBelow += 2*b + 1
+	m.Below[class] = b + 1
+	m.nBelow++
+	a := m.Above[class]
+	m.sqAbove -= 2*a - 1
+	m.Above[class] = a - 1
+	m.nAbove--
 }
 
 // Split returns the gini index of the binary split at the current point.
 func (m *Matrix) Split() float64 {
-	return SplitIndex(m.Below, m.Above)
+	return BinarySplit(m.nBelow, m.sqBelow, m.nAbove, m.sqAbove)
 }

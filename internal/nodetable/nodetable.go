@@ -42,6 +42,22 @@ type Table struct {
 	block int // max updates sent per rank per round
 	lo    int // first global rid owned by this rank
 	child []uint8
+
+	// Pooled scratch, reused across collective calls under the *Into reuse
+	// rules documented in package comm: every buffer deposited into an
+	// all-to-all is only refilled after this rank has returned from a later
+	// collective, which proves every reader finished with it.
+	send    [][]wireUpdate // per-destination update buffers
+	recvUpd [][]wireUpdate // AllToAll receive index (updates)
+	one     []int64        // remaining-count reduction input
+	oneOut  []int64        // remaining-count reduction output
+	enq     [][]int32      // per-owner enquiry buffers
+	recvIdx [][]int32      // AllToAll receive index (enquiries)
+	valBuf  []uint8        // backing for the per-source value buffers
+	vals    [][]uint8      // per-source value buffers
+	recvVal [][]uint8      // AllToAll receive index (values)
+	cursors []int          // reassembly cursors
+	out     []uint8        // Lookup result, valid until the next Lookup
 }
 
 // New allocates the table for n global records, charging the local slab to
@@ -72,7 +88,15 @@ func NewWithBlock(c *comm.Comm, n, block int) *Table {
 	if lo > n {
 		lo = n
 	}
-	t := &Table{c: c, n: n, chunk: chunk, block: block, lo: lo, child: make([]uint8, max(0, hi-lo))}
+	t := &Table{
+		c: c, n: n, chunk: chunk, block: block, lo: lo,
+		child:   make([]uint8, max(0, hi-lo)),
+		send:    make([][]wireUpdate, p),
+		one:     make([]int64, 1),
+		enq:     make([][]int32, p),
+		vals:    make([][]uint8, p),
+		cursors: make([]int, p),
+	}
 	c.Mem().Alloc(int64(len(t.child)))
 	return t
 }
@@ -96,7 +120,6 @@ func (t *Table) owner(rid int32) int { return int(rid) / t.chunk }
 // buffers more than O(N/p) in flight, preserving memory scalability).
 // Collective: every rank must call it, even with no assignments.
 func (t *Table) Update(assignments []Assignment) {
-	p := t.c.Size()
 	model := t.c.Model()
 	t.c.Compute(model.HashTime(len(assignments)))
 
@@ -109,7 +132,10 @@ func (t *Table) Update(assignments []Assignment) {
 		if take > t.block {
 			take = t.block
 		}
-		send := make([][]wireUpdate, p)
+		send := t.send
+		for d := range send {
+			send[d] = send[d][:0]
+		}
 		for _, a := range assignments[cursor : cursor+take] {
 			d := t.owner(a.Rid)
 			send[d] = append(send[d], wireUpdate{Loc: a.Rid - int32(d*t.chunk), Child: a.Child})
@@ -119,7 +145,8 @@ func (t *Table) Update(assignments []Assignment) {
 
 		sendBytes := int64(take) * int64(wireUpdateSize)
 		t.c.Mem().Alloc(sendBytes)
-		recv := comm.AllToAll(t.c, send)
+		recv := comm.AllToAllInto(t.c, send, t.recvUpd)
+		t.recvUpd = recv
 		recvCount := 0
 		for _, part := range recv {
 			recvCount += len(part)
@@ -134,7 +161,9 @@ func (t *Table) Update(assignments []Assignment) {
 		t.c.Compute(model.HashTime(recvCount))
 		t.c.Mem().Free(sendBytes + recvBytes)
 
-		if comm.AllReduceSum(t.c, []int64{remaining})[0] == 0 {
+		t.one[0] = remaining
+		t.oneOut = comm.AllReduceSumInto(t.c, t.one, t.oneOut)
+		if t.oneOut[0] == 0 {
 			break
 		}
 	}
@@ -145,12 +174,17 @@ func (t *Table) Update(assignments []Assignment) {
 // owners in one all-to-all step, the owners fill intermediate value
 // buffers, and a second all-to-all returns the results. Collective: every
 // rank must call it, even with no rids.
+//
+// The returned slice is pooled: it is only valid until this rank's next
+// Lookup call. Callers keeping answers longer must copy them.
 func (t *Table) Lookup(rids []int32) []uint8 {
-	p := t.c.Size()
 	model := t.c.Model()
 
 	// Enquiry buffers of local indices, bucketed by owner.
-	enq := make([][]int32, p)
+	enq := t.enq
+	for d := range enq {
+		enq[d] = enq[d][:0]
+	}
 	for _, rid := range rids {
 		d := t.owner(rid)
 		enq[d] = append(enq[d], rid-int32(d*t.chunk))
@@ -159,16 +193,27 @@ func (t *Table) Lookup(rids []int32) []uint8 {
 	t.c.Mem().Alloc(bufBytes)
 	t.c.Compute(model.HashTime(len(rids)))
 
-	indexBufs := comm.AllToAll(t.c, enq)
+	indexBufs := comm.AllToAllInto(t.c, enq, t.recvIdx)
+	t.recvIdx = indexBufs
 
-	// Fill the intermediate value buffers.
-	vals := make([][]uint8, p)
+	// Fill the intermediate value buffers from one pooled backing array.
+	need := 0
+	for _, idxs := range indexBufs {
+		need += len(idxs)
+	}
+	if cap(t.valBuf) < need {
+		t.valBuf = make([]uint8, need)
+	}
+	valBuf := t.valBuf[:0]
+	vals := t.vals
 	looked := 0
 	for src, idxs := range indexBufs {
+		vals[src] = nil
 		if len(idxs) == 0 {
 			continue
 		}
-		out := make([]uint8, len(idxs))
+		out := valBuf[len(valBuf) : len(valBuf)+len(idxs)]
+		valBuf = valBuf[:len(valBuf)+len(idxs)]
 		for i, loc := range idxs {
 			out[i] = t.child[loc]
 		}
@@ -177,12 +222,17 @@ func (t *Table) Lookup(rids []int32) []uint8 {
 	}
 	t.c.Compute(model.HashTime(looked))
 
-	results := comm.AllToAll(t.c, vals)
+	results := comm.AllToAllInto(t.c, vals, t.recvVal)
+	t.recvVal = results
 
 	// Reassemble in input order: per-owner responses arrive in the order
 	// the enquiries were issued.
-	cursors := make([]int, p)
-	out := make([]uint8, len(rids))
+	cursors := t.cursors
+	clear(cursors)
+	if cap(t.out) < len(rids) {
+		t.out = make([]uint8, len(rids))
+	}
+	out := t.out[:len(rids)]
 	for i, rid := range rids {
 		d := t.owner(rid)
 		out[i] = results[d][cursors[d]]

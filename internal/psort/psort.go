@@ -10,18 +10,16 @@
 package psort
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/comm"
 	"repro/internal/dataset"
 )
 
-// less is the total order on entries.
+// less is the total order on entries (dataset.CompareContEntries).
 func less(a, b dataset.ContEntry) bool {
-	if a.Val != b.Val {
-		return a.Val < b.Val
-	}
-	return a.Rid < b.Rid
+	return dataset.CompareContEntries(a, b) < 0
 }
 
 // Sort globally sorts the distributed list and rebalances it: afterwards
@@ -33,7 +31,7 @@ func Sort(c *comm.Comm, local []dataset.ContEntry) []dataset.ContEntry {
 
 	// Step 1: local sort.
 	c.Compute(model.SortTime(len(local)))
-	sort.Slice(local, func(i, j int) bool { return less(local[i], local[j]) })
+	slices.SortFunc(local, dataset.CompareContEntries)
 
 	if p == 1 {
 		return local
@@ -64,7 +62,7 @@ func Sort(c *comm.Comm, local []dataset.ContEntry) []dataset.ContEntry {
 	pool := comm.AllgatherFlat(c, samples)
 	c.Mem().Alloc(int64(len(pool)) * dataset.ContEntrySize)
 	c.Compute(float64(len(pool)) * logish(p) / model.SortRate)
-	sort.Slice(pool, func(i, j int) bool { return less(pool[i], pool[j]) })
+	slices.SortFunc(pool, dataset.CompareContEntries)
 	splitters := make([]dataset.ContEntry, 0, p-1)
 	for i := 1; i < p; i++ {
 		idx := i * len(pool) / p
@@ -109,7 +107,7 @@ func Sort(c *comm.Comm, local []dataset.ContEntry) []dataset.ContEntry {
 	}
 	c.Mem().Alloc(int64(total) * dataset.ContEntrySize)
 	c.Compute(float64(total) * logish(p) / model.SortRate) // n·log2(p) merge comparisons
-	sort.Slice(merged, func(i, j int) bool { return less(merged[i], merged[j]) })
+	slices.SortFunc(merged, dataset.CompareContEntries)
 	out := Rebalance(c, merged)
 	c.Mem().Free(int64(total) * dataset.ContEntrySize)
 	return out

@@ -43,7 +43,7 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 	model := wk.c.Model()
 	p := wk.c.Size()
 
-	bins := make([]int, wk.schema.NumAttrs())
+	bins := grabRaw(wk.ar, &wk.ar.attrBins, wk.schema.NumAttrs())
 	for a, attr := range wk.schema.Attrs {
 		if attr.Kind == dataset.Continuous {
 			bins[a] = len(wk.cuts[a]) + 1
@@ -54,7 +54,7 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 	layout := histogram.NewLayout(nNeed, bins, nc)
 
 	// Need-split index back to active index, for segment lookup.
-	nodeOf := make([]int, nNeed)
+	nodeOf := grabRaw(wk.ar, &wk.ar.nodeOf, nNeed)
 	for i, i2 := range splitIdx {
 		if i2 >= 0 {
 			nodeOf[i2] = i
@@ -65,7 +65,7 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 	// record ids are int32, so no count can reach 2³¹.
 	transient := int64(layout.Total) * 4
 	wk.c.Mem().Alloc(transient)
-	hist := make([]uint32, layout.Total)
+	hist := grab(wk.ar, &wk.ar.hist32, layout.Total)
 	scanned := 0
 	for _, g := range layout.Groups {
 		sg := wk.segs[g.Attr][nodeOf[g.Node]]
@@ -84,12 +84,14 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 	wk.c.Compute(model.ScanTime(scanned))
 
 	counts := layout.OwnerCounts(p)
-	mine := comm.ReduceScatterSum32(wk.c, hist, counts)
+	mine := stash(wk.ar, &wk.ar.mine32, comm.ReduceScatterSum32Into(wk.c, hist, wk.ar.mine32, counts))
 
 	// FindSplitII: evaluate the owned groups from their reduced histograms.
 	wk.c.SetPhase(trace.FindSplitII, wk.level)
-	best := make([]splitter.Candidate, nNeed) // zero value is Invalid
+	best := grab(wk.ar, &wk.ar.best, nNeed) // zero value is Invalid
 	glo, ghi := layout.GroupRange(p, wk.c.Rank())
+	below := grabRaw(wk.ar, &wk.ar.below, nc)
+	above := grabRaw(wk.ar, &wk.ar.above, nc)
 	off, evaluated := 0, 0
 	for g := glo; g < ghi; g++ {
 		grp := layout.Groups[g]
@@ -98,9 +100,9 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 		evaluated += grp.Len
 		var cand splitter.Candidate
 		if wk.schema.Attrs[grp.Attr].Kind == dataset.Continuous {
-			cand = bestBinnedCont(chunk, wk.cuts[grp.Attr], nc, grp.Attr)
+			cand = bestBinnedCont(chunk, below, above, wk.cuts[grp.Attr], nc, grp.Attr)
 		} else {
-			flat := make([]int64, len(chunk))
+			flat := grabRaw(wk.ar, &wk.ar.catFlat, len(chunk))
 			for j, v := range chunk {
 				flat[j] = int64(v)
 			}
@@ -111,32 +113,48 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 	}
 	wk.c.Compute(model.ScanTime(evaluated))
 	wk.c.Mem().Free(transient)
-	return comm.AllReduce(wk.c, best, splitter.Best)
+	return stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
 }
 
 // bestBinnedCont evaluates a continuous attribute's bin boundaries from the
 // group's reduced (bin, class) histogram. A boundary after bin b is the
 // candidate "A <= cuts[b]"; like the exact scan, a candidate with an empty
-// side is never emitted. The gini is a pure function of the same integer
-// counts the exact path would reduce, so ties break identically.
-func bestBinnedCont(chunk []uint32, cuts []float64, nc int, attr int) splitter.Candidate {
-	below := make([]int64, nc)
-	above := make([]int64, nc)
-	var nAbove int64
+// side is never emitted. The evaluation maintains the same running integer
+// sums of squares as the exact scan's gini.Matrix and funnels through the
+// same gini.BinarySplit kernel, so a boundary's gini is bit-identical to
+// the exact path's gini of the same counts and ties break identically.
+func bestBinnedCont(chunk []uint32, below, above []int64, cuts []float64, nc int, attr int) splitter.Candidate {
+	below, above = below[:nc], above[:nc]
+	var nBelow, nAbove, sqBelow, sqAbove int64
+	for j := range below {
+		below[j] = 0
+		above[j] = 0
+	}
 	for b := 0; b < len(cuts)+1; b++ {
 		for j := 0; j < nc; j++ {
 			above[j] += int64(chunk[b*nc+j])
-			nAbove += int64(chunk[b*nc+j])
 		}
 	}
+	for _, h := range above {
+		nAbove += h
+		sqAbove += h * h
+	}
 	best := splitter.Invalid
-	var nBelow int64
 	for b := range cuts {
 		for j := 0; j < nc; j++ {
 			v := int64(chunk[b*nc+j])
-			below[j] += v
-			above[j] -= v
+			if v == 0 {
+				continue
+			}
+			// Moving v records of class j across the boundary changes each
+			// side's Σh² by (h±v)² - h² = ±2hv + v².
+			h := below[j]
+			sqBelow += 2*h*v + v*v
+			below[j] = h + v
 			nBelow += v
+			a := above[j]
+			sqAbove -= 2*a*v - v*v
+			above[j] = a - v
 			nAbove -= v
 		}
 		if nBelow == 0 || nAbove == 0 {
@@ -144,7 +162,7 @@ func bestBinnedCont(chunk []uint32, cuts []float64, nc int, attr int) splitter.C
 		}
 		cand := splitter.Candidate{
 			Valid:     true,
-			Gini:      gini.SplitIndex(below, above),
+			Gini:      gini.BinarySplit(nBelow, sqBelow, nAbove, sqAbove),
 			Attr:      int32(attr),
 			Kind:      splitter.ContSplit,
 			Threshold: cuts[b],

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/dataset"
-	"repro/internal/gini"
 	"repro/internal/nodetable"
 	"repro/internal/splitter"
 	"repro/internal/trace"
@@ -59,7 +58,7 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 	nc := wk.schema.NumClasses()
 	model := wk.c.Model()
 
-	best := make([]splitter.Candidate, nNeed) // zero value is Invalid
+	best := grab(wk.ar, &wk.ar.best, nNeed) // zero value is Invalid
 
 	// --- Continuous attributes ---
 	if len(contAttrs) > 0 {
@@ -67,8 +66,8 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 		// exclusive prefix scan turns them into each rank's global
 		// starting count matrix. Segment-first values travel alongside so
 		// scans can validate their final candidate across rank borders.
-		counts := make([]int64, nNeed*len(contAttrs)*nc)
-		bounds := make([]boundary, nNeed*len(contAttrs))
+		counts := grab(wk.ar, &wk.ar.counts, nNeed*len(contAttrs)*nc)
+		bounds := grab(wk.ar, &wk.ar.bounds, nNeed*len(contAttrs))
 		scanned := 0
 		for i := range wk.active {
 			i2 := splitIdx[i]
@@ -90,15 +89,15 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 		wk.c.Compute(model.ScanTime(scanned))
 		transient := int64(len(counts))*8 + int64(len(bounds))*16*2
 		wk.c.Mem().Alloc(transient)
-		prefix := comm.ExScanSum(wk.c, counts)
+		prefix := stash(wk.ar, &wk.ar.prefix, comm.ExScanSumInto(wk.c, counts, wk.ar.prefix))
 		// The first value after each of my segments: fold "first
 		// non-empty" over the ranks to my right.
-		nextBounds := comm.ReverseExScan(wk.c, bounds, func(a, b boundary) boundary {
+		nextBounds := stash(wk.ar, &wk.ar.nextBounds, comm.ReverseExScanInto(wk.c, bounds, wk.ar.nextBounds, func(a, b boundary) boundary {
 			if a.Has == 1 {
 				return a
 			}
 			return b
-		}, boundary{})
+		}, boundary{}))
 
 		// FindSplitII: linear gini scan of every local segment.
 		wk.c.SetPhase(trace.FindSplitII, wk.level)
@@ -113,7 +112,8 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 					continue
 				}
 				base := (i2*len(contAttrs) + k) * nc
-				m := gini.NewMatrix(wk.active[i].hist, prefix[base:base+nc])
+				m := &wk.ar.m
+				m.Reset(wk.active[i].hist, prefix[base:base+nc])
 				list := wk.cont[a][sg.off : sg.off+sg.n]
 				nb := nextBounds[i2*len(contAttrs)+k]
 				nextVal, hasNext := nb.Val, nb.Has == 1
@@ -147,9 +147,12 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 	if len(catAttrs) > 0 {
 		wk.c.SetPhase(trace.FindSplitI, wk.level)
 	}
-	for _, a := range catAttrs {
+	for ci, a := range catAttrs {
 		card := wk.schema.Attrs[a].Cardinality()
-		vec := make([]int64, nNeed*card*nc)
+		// Double-buffered: consecutive per-attribute ReduceSums have no
+		// gating collective between them, so the vector deposited for
+		// attribute ci may still be folding while ci+1 fills its own.
+		vec := grab(wk.ar, &wk.ar.catVec[ci%2], nNeed*card*nc)
 		counted := 0
 		for i := range wk.active {
 			i2 := splitIdx[i]
@@ -180,7 +183,7 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 	// FindSplitII's closing step: the overall best split per node via a
 	// global reduction with the deterministic candidate order.
 	wk.c.SetPhase(trace.FindSplitII, wk.level)
-	return comm.AllReduce(wk.c, best, splitter.Best)
+	return stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
 }
 
 // performSplitI walks every splitting attribute's local segments: assigns
@@ -215,19 +218,24 @@ func (wk *worker) performSplitIBatch(doSplit []bool, splitIdx []int, cands []spl
 	nc := wk.schema.NumClasses()
 	model := wk.c.Model()
 
-	offsets := make([]int, len(wk.active))
-	total := 0
+	offsets := grabRaw(wk.ar, &wk.ar.offsets, len(wk.active))
+	total, entTotal, dTotal := 0, 0, 0
 	for i := range wk.active {
 		offsets[i] = -1
 		if doSplit[i] {
+			cand := cands[splitIdx[i]]
 			offsets[i] = total
-			total += wk.childCount(cands[splitIdx[i]]) * nc
+			d := wk.childCount(cand)
+			total += d * nc
+			dTotal += d
+			entTotal += wk.segs[int(cand.Attr)][i].n
 		}
 	}
 
-	vec := make([]int64, total)
-	splitChild := make([][]uint8, len(wk.active))
-	var assigns []nodetable.Assignment
+	vec := grab(wk.ar, &wk.ar.vec, total)
+	childsBuf := grabRaw(wk.ar, &wk.ar.childsBuf, entTotal)
+	splitChild := grab(wk.ar, &wk.ar.splitChild, len(wk.active))
+	assigns := grabRaw(wk.ar, &wk.ar.assigns, 0)
 	work := 0
 	for i := range wk.active {
 		if !doSplit[i] {
@@ -236,7 +244,7 @@ func (wk *worker) performSplitIBatch(doSplit []bool, splitIdx []int, cands []spl
 		cand := cands[splitIdx[i]]
 		a := int(cand.Attr)
 		sg := wk.segs[a][i]
-		childs := make([]uint8, sg.n)
+		childs := childsBuf[work : work+sg.n]
 		if wk.schema.Attrs[a].Kind == dataset.Continuous {
 			for j, e := range wk.cont[a][sg.off : sg.off+sg.n] {
 				ch := childOfCont(cand, e.Val)
@@ -257,12 +265,17 @@ func (wk *worker) performSplitIBatch(doSplit []bool, splitIdx []int, cands []spl
 	}
 	wk.c.Compute(model.SplitTime(work))
 
+	stash(wk.ar, &wk.ar.assigns, assigns)
+
 	// Assignment buffer (8 bytes each) plus the per-entry child arrays
 	// (1 byte each, alive until phase II consumes them).
 	wk.c.Mem().Alloc(int64(work) * 9)
 	wk.rm.Update(assigns)
 	wk.c.Mem().Free(int64(work) * 8) // assignments delivered
 
+	// The reduced histograms are subsliced into the tree's nodes, which
+	// outlive the level — global must be a fresh allocation, never arena
+	// scratch.
 	var global []int64
 	if total > 0 {
 		wk.c.Mem().Alloc(int64(total) * 8)
@@ -270,13 +283,16 @@ func (wk *worker) performSplitIBatch(doSplit []bool, splitIdx []int, cands []spl
 		wk.c.Mem().Free(int64(total) * 8)
 	}
 
-	childHists := make([][][]int64, len(wk.active))
+	histsBuf := grabRaw(wk.ar, &wk.ar.histsBuf, dTotal)
+	childHists := grab(wk.ar, &wk.ar.childHists, len(wk.active))
+	used := 0
 	for i := range wk.active {
 		if !doSplit[i] {
 			continue
 		}
 		d := wk.childCount(cands[splitIdx[i]])
-		childHists[i] = make([][]int64, d)
+		childHists[i] = histsBuf[used : used+d]
+		used += d
 		for k := 0; k < d; k++ {
 			childHists[i][k] = global[offsets[i]+k*nc : offsets[i]+(k+1)*nc]
 		}
@@ -290,14 +306,23 @@ func (wk *worker) performSplitIBatch(doSplit []bool, splitIdx []int, cands []spl
 // children, which become leaves immediately).
 func (wk *worker) buildChildren(doSplit []bool, splitIdx []int, childHists [][][]int64) ([]*nodeState, [][]int) {
 	var next []*nodeState
-	childIndex := make([][]int, len(wk.active))
+	dTotal := 0
+	for i := range wk.active {
+		if doSplit[i] {
+			dTotal += len(childHists[i])
+		}
+	}
+	childIdxBuf := grabRaw(wk.ar, &wk.ar.childIdxBuf, dTotal)
+	childIndex := grab(wk.ar, &wk.ar.childIndex, len(wk.active))
+	used := 0
 	for i, ns := range wk.active {
 		if !doSplit[i] {
 			continue
 		}
 		hists := childHists[i]
 		ns.node.Children = make([]*tree.Node, len(hists))
-		childIndex[i] = make([]int, len(hists))
+		childIndex[i] = childIdxBuf[used : used+len(hists)]
+		used += len(hists)
 		parentMajority := tree.Majority(ns.hist)
 		for k, hist := range hists {
 			child := &tree.Node{Hist: hist}
@@ -334,13 +359,14 @@ func (wk *worker) performSplitII(doSplit []bool, splitIdx []int, cands []splitte
 	var batchedAnswers []uint8
 	var batchedOffsets []int
 	if wk.batched {
-		var all []int32
-		batchedOffsets = make([]int, wk.schema.NumAttrs()+1)
+		all := grabRaw(wk.ar, &wk.ar.enqRids, 0)
+		batchedOffsets = grabRaw(wk.ar, &wk.ar.offCache, wk.schema.NumAttrs()+1)
 		for a := range wk.schema.Attrs {
 			batchedOffsets[a] = len(all)
 			all = wk.collectEnquiryRids(a, doSplit, splitIdx, cands, all)
 		}
 		batchedOffsets[wk.schema.NumAttrs()] = len(all)
+		stash(wk.ar, &wk.ar.enqRids, all)
 		batchedAnswers = wk.rm.Lookup(all)
 	}
 
@@ -349,50 +375,54 @@ func (wk *worker) performSplitII(doSplit []bool, splitIdx []int, cands []splitte
 
 		// Enquiry pass: rids of every segment that needs child numbers
 		// from the record map, in node order. Per-level mode batches the
-		// whole attribute into one enquiry; the per-node ablation runs a
-		// separate enquiry per node.
-		ridsByNode := make([][]int32, len(wk.active))
-		for i := range wk.active {
-			if !doSplit[i] || int(cands[splitIdx[i]].Attr) == a {
-				continue
-			}
-			sg := wk.segs[a][i]
-			rids := make([]int32, 0, sg.n)
-			if isCont {
-				for _, e := range wk.cont[a][sg.off : sg.off+sg.n] {
-					rids = append(rids, e.Rid)
-				}
-			} else {
-				for _, e := range wk.cat[a][sg.off : sg.off+sg.n] {
-					rids = append(rids, e.Rid)
-				}
-			}
-			ridsByNode[i] = rids
-		}
+		// whole attribute into one enquiry, reusing one rid buffer across
+		// attributes; the per-node ablation runs a separate enquiry per
+		// node. Lookup's result is only valid until the next Lookup, which
+		// is fine: each attribute's answers are consumed by its own
+		// partition pass below.
 		var answers []uint8
 		switch {
 		case wk.batched:
 			answers = batchedAnswers[batchedOffsets[a]:batchedOffsets[a+1]]
 		case wk.perNode:
 			for i := range wk.active {
-				if doSplit[i] && int(cands[splitIdx[i]].Attr) != a {
-					answers = append(answers, wk.rm.Lookup(ridsByNode[i])...)
+				if !doSplit[i] || int(cands[splitIdx[i]].Attr) == a {
+					continue
 				}
+				sg := wk.segs[a][i]
+				rids := make([]int32, 0, sg.n)
+				if isCont {
+					for _, e := range wk.cont[a][sg.off : sg.off+sg.n] {
+						rids = append(rids, e.Rid)
+					}
+				} else {
+					for _, e := range wk.cat[a][sg.off : sg.off+sg.n] {
+						rids = append(rids, e.Rid)
+					}
+				}
+				answers = append(answers, wk.rm.Lookup(rids)...)
 			}
 		default:
-			var rids []int32
-			for _, r := range ridsByNode {
-				rids = append(rids, r...)
-			}
+			rids := wk.collectEnquiryRids(a, doSplit, splitIdx, cands, grabRaw(wk.ar, &wk.ar.enqRids, 0))
+			stash(wk.ar, &wk.ar.enqRids, rids)
 			answers = wk.rm.Lookup(rids)
 		}
 
 		// Partition pass: rebuild the attribute's backing with the next
-		// level's segments (dropping records retired into leaves).
-		newSegs := make([]seg, len(next))
-		cursor := 0
-		var newCont []dataset.ContEntry
-		var newCat []dataset.CatEntry
+		// level's segments (dropping records retired into leaves). Each
+		// node's segment is partitioned stably into its child segments by
+		// one counting pass plus one scatter pass into a spare backing
+		// array, which is then swapped with the live one — a per-attribute
+		// double buffer reused level after level.
+		newSegs := grabRaw(wk.ar, &wk.ar.spareSegs[a], len(next))
+		spareCont := wk.ar.spareCont[a]
+		spareCat := wk.ar.spareCat[a]
+		if isCont {
+			spareCont = grabRaw(wk.ar, &wk.ar.spareCont[a], len(wk.cont[a]))
+		} else {
+			spareCat = grabRaw(wk.ar, &wk.ar.spareCat[a], len(wk.cat[a]))
+		}
+		cursor, out := 0, 0
 		oldBytes := int64(len(wk.cont[a]))*dataset.ContEntrySize + int64(len(wk.cat[a]))*dataset.CatEntrySize
 		work := 0
 		for i := range wk.active {
@@ -410,38 +440,56 @@ func (wk *worker) performSplitII(doSplit []bool, splitIdx []int, cands []splitte
 				cursor += sg.n
 			}
 			work += sg.n
-			if isCont {
-				buckets := partitionSeg(wk.cont[a][sg.off:sg.off+sg.n], childs, d)
-				for k := 0; k < d; k++ {
-					ni := childIndex[i][k]
-					if ni < 0 {
-						if len(buckets[k]) != 0 {
-							panic(fmt.Sprintf("scalparc: %d local entries in globally empty child", len(buckets[k])))
-						}
-						continue
+			bn := grab(wk.ar, &wk.ar.bucketNs, d)
+			for _, ch := range childs {
+				bn[ch]++
+			}
+			for k := 0; k < d; k++ {
+				ni := childIndex[i][k]
+				cnt := bn[k]
+				if ni < 0 {
+					if cnt != 0 {
+						panic(fmt.Sprintf("scalparc: %d local entries in globally empty child", cnt))
 					}
-					newSegs[ni] = seg{off: len(newCont), n: len(buckets[k])}
-					newCont = append(newCont, buckets[k]...)
+					continue
+				}
+				newSegs[ni] = seg{off: out, n: cnt}
+				bn[k] = out // repurposed as the child's running write offset
+				out += cnt
+			}
+			if isCont {
+				for j, e := range wk.cont[a][sg.off : sg.off+sg.n] {
+					k := childs[j]
+					spareCont[bn[k]] = e
+					bn[k]++
 				}
 			} else {
-				buckets := partitionSeg(wk.cat[a][sg.off:sg.off+sg.n], childs, d)
-				for k := 0; k < d; k++ {
-					ni := childIndex[i][k]
-					if ni < 0 {
-						if len(buckets[k]) != 0 {
-							panic(fmt.Sprintf("scalparc: %d local entries in globally empty child", len(buckets[k])))
-						}
-						continue
-					}
-					newSegs[ni] = seg{off: len(newCat), n: len(buckets[k])}
-					newCat = append(newCat, buckets[k]...)
+				for j, e := range wk.cat[a][sg.off : sg.off+sg.n] {
+					k := childs[j]
+					spareCat[bn[k]] = e
+					bn[k]++
 				}
 			}
 		}
 		wk.c.Compute(model.SplitTime(work))
 
+		newCont, newCat := spareCont[:0], spareCat[:0]
+		if isCont {
+			newCont = spareCont[:out]
+		} else {
+			newCat = spareCat[:out]
+		}
 		newBytes := int64(len(newCont))*dataset.ContEntrySize + int64(len(newCat))*dataset.CatEntrySize
 		wk.c.Mem().Alloc(newBytes) // double-buffer peak while both exist
+		if !wk.ar.disabled {
+			// The retired backing arrays become next level's spares.
+			if isCont {
+				wk.ar.spareCont[a] = wk.cont[a]
+			} else {
+				wk.ar.spareCat[a] = wk.cat[a]
+			}
+			wk.ar.spareSegs[a] = wk.segs[a]
+		}
 		if isCont {
 			wk.cont[a] = newCont
 		} else {
@@ -481,14 +529,4 @@ func (wk *worker) collectEnquiryRids(a int, doSplit []bool, splitIdx []int, cand
 		}
 	}
 	return out
-}
-
-// partitionSeg stably distributes a segment's entries into d child buckets.
-func partitionSeg[E any](list []E, childs []uint8, d int) [][]E {
-	buckets := make([][]E, d)
-	for j, e := range list {
-		k := childs[j]
-		buckets[k] = append(buckets[k], e)
-	}
-	return buckets
 }

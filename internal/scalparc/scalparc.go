@@ -305,6 +305,9 @@ type worker struct {
 	bins     int
 	cuts     [][]float64
 	cutBytes int64
+
+	// ar is the per-level scratch arena (see scratch.go).
+	ar *scratch
 }
 
 // newWorker distributes the table, builds this rank's attribute lists, and
@@ -329,6 +332,7 @@ func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory Re
 		rebalance: opts.RebalanceLevels,
 		split:     opts.Split,
 		bins:      opts.Bins,
+		ar:        newScratch(tab.Schema.NumAttrs(), opts.PerNodeComms),
 	}
 
 	// Presort: sample sort + shift for every continuous attribute. The
@@ -418,8 +422,8 @@ func (wk *worker) runLevel() {
 	}
 	// Termination tests (FindSplitII's first half): replicated, no
 	// communication — every rank has every node's global histogram.
-	needSplit := make([]bool, len(wk.active))
-	splitIdx := make([]int, len(wk.active)) // index among need-split nodes, or -1
+	needSplit := grab(wk.ar, &wk.ar.needSplit, len(wk.active))
+	splitIdx := grabRaw(wk.ar, &wk.ar.splitIdx, len(wk.active)) // index among need-split nodes, or -1
 	nNeed := 0
 	for i, ns := range wk.active {
 		splitIdx[i] = -1
@@ -434,7 +438,7 @@ func (wk *worker) runLevel() {
 	cands := wk.findSplits(splitIdx, nNeed)
 
 	// Final split-or-leaf decision, replicated.
-	doSplit := make([]bool, len(wk.active))
+	doSplit := grab(wk.ar, &wk.ar.doSplit, len(wk.active))
 	for i, ns := range wk.active {
 		if !needSplit[i] {
 			makeLeaf(ns.node, ns.hist)

@@ -168,12 +168,17 @@ func BestCategorical(m *CountMatrix, attr int, binary bool) Candidate {
 		return bestSubset(m, attr)
 	}
 	nonEmpty := 0
+	var total int64
 	for _, row := range m.Counts {
+		empty := true
 		for _, c := range row {
+			total += c
 			if c > 0 {
-				nonEmpty++
-				break
+				empty = false
 			}
+		}
+		if !empty {
+			nonEmpty++
 		}
 	}
 	if nonEmpty < 2 {
@@ -181,7 +186,7 @@ func BestCategorical(m *CountMatrix, attr int, binary bool) Candidate {
 	}
 	return Candidate{
 		Valid: true,
-		Gini:  gini.SplitIndex(m.Counts...),
+		Gini:  gini.SplitIndexTotal(total, m.Counts...),
 		Attr:  int32(attr),
 		Kind:  CatMWay,
 	}
@@ -204,9 +209,11 @@ func bestSubset(m *CountMatrix, attr int) Candidate {
 	right := make([]int64, classes)
 	present := make([]bool, card)
 	presentCount := 0
+	var total int64
 	for v, row := range m.Counts {
 		for j, c := range row {
 			right[j] += c
+			total += c
 			if c > 0 {
 				present[v] = true
 			}
@@ -232,7 +239,7 @@ func bestSubset(m *CountMatrix, attr int) Candidate {
 				left[j] += m.Counts[v][j]
 				right[j] -= m.Counts[v][j]
 			}
-			g := gini.SplitIndex(left, right)
+			g := gini.SplitIndexTotal(total, left, right)
 			if g < bestG {
 				bestG, bestV = g, v
 			}
