@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race fuzz guard cover experiments examples clean
+.PHONY: all build vet test bench race fuzz guard chaos cover experiments examples clean
 
 all: build vet test
 
@@ -28,6 +28,17 @@ bench:
 # machine (one goroutine per rank) and the engine driving it.
 race:
 	$(GO) test -race ./internal/comm ./internal/scalparc
+
+# Chaos suite under the race detector: crash-at-every-(phase,level)
+# recovery sweeps, checkpoint round-trips, fault-injector and detection
+# tests, and the CLI's end-to-end fault paths. Failing scalparc sweeps dump
+# Chrome traces into CHAOS_ARTIFACT_DIR (CI uploads them as artifacts).
+CHAOS_ARTIFACT_DIR ?= chaos-traces
+chaos:
+	CHAOS_ARTIFACT_DIR="$(CHAOS_ARTIFACT_DIR)" $(GO) test -race \
+		-run 'Fault|Crash|Checkpoint|Straggler|Corrupt|Recover|Schedule|Detection|Shrink|Truncat' \
+		./internal/faults ./internal/comm ./internal/scalparc \
+		./internal/nodetable ./internal/extmem ./classify ./cmd/scalparc
 
 # Short fuzzing passes over the CSV reader and the gini scan kernel (CI
 # runs the same smokes).

@@ -26,6 +26,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/scalparc"
 	"repro/internal/serial"
 	"repro/internal/sliq"
@@ -134,6 +135,18 @@ type Config struct {
 	// Bins caps the per-attribute quantile bin count for SplitBinned;
 	// 0 selects the default (256). Only meaningful with SplitBinned.
 	Bins int
+	// Faults is a fault-injection spec (see package faults: e.g.
+	// "crash@FindSplitI:1:2" or "random:4:crash,straggle"). Only the
+	// ScalParC algorithm has a recovery path, so faults require it.
+	Faults string
+	// FaultSeed seeds "random:" fault specs; required non-zero for them.
+	FaultSeed int64
+	// CheckpointEvery saves a level-boundary checkpoint every k levels
+	// (0 disables; crashes then recover by full replay).
+	CheckpointEvery int
+	// CheckpointDir persists checkpoints to this directory; implies
+	// CheckpointEvery 1 when that is unset.
+	CheckpointDir string
 }
 
 func (c Config) splitterConfig() splitter.Config {
@@ -177,6 +190,12 @@ type Metrics struct {
 	// paper's four induction phases (plus presort), per processor and
 	// tree level. Nil for Serial; SLIQ reports a one-rank modeled trace.
 	Trace *trace.Trace
+	// Recoveries is how many crash-recovery rounds training survived.
+	Recoveries int
+	// FinalRanks is the live processor count after recovery shrinks.
+	FinalRanks int
+	// Lost lists the physical ranks lost to injected crashes.
+	Lost []int
 }
 
 // Model is a trained classifier.
@@ -200,6 +219,19 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 	if (cfg.Split != SplitExact || cfg.Bins != 0) && cfg.Algorithm != ScalParC {
 		return nil, fmt.Errorf("classify: binned split finding requires the ScalParC algorithm (got %v)", cfg.Algorithm)
 	}
+	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "") && cfg.Algorithm != ScalParC {
+		return nil, fmt.Errorf("classify: fault injection and checkpointing require the ScalParC algorithm (got %v)", cfg.Algorithm)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("classify: negative checkpoint interval %d", cfg.CheckpointEvery)
+	}
+	var schedule *faults.Schedule
+	if cfg.Faults != "" {
+		var err error
+		if schedule, err = faults.Parse(cfg.Faults, cfg.FaultSeed, p); err != nil {
+			return nil, err
+		}
+	}
 
 	m := &Model{Metrics: Metrics{Algorithm: cfg.Algorithm, Processors: p}}
 	switch cfg.Algorithm {
@@ -222,10 +254,16 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 		var res *scalparc.Result
 		var err error
 		if cfg.Algorithm == ScalParC {
-			res, err = scalparc.TrainOpts(w, tab, cfg.splitterConfig(), scalparc.Options{
-				Split: cfg.Split,
-				Bins:  cfg.Bins,
-			})
+			opts := scalparc.Options{
+				Split:           cfg.Split,
+				Bins:            cfg.Bins,
+				CheckpointEvery: cfg.CheckpointEvery,
+				CheckpointDir:   cfg.CheckpointDir,
+			}
+			if schedule != nil {
+				opts.Faults = schedule
+			}
+			res, err = scalparc.TrainOpts(w, tab, cfg.splitterConfig(), opts)
 		} else {
 			res, err = sprint.Train(w, tab, cfg.splitterConfig())
 		}
@@ -239,6 +277,9 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 		m.Metrics.WallSeconds = res.WallSeconds
 		m.Metrics.PeakMemoryPerRank = res.PeakMemoryPerRank
 		m.Metrics.Trace = res.Trace
+		m.Metrics.Recoveries = res.Recoveries
+		m.Metrics.FinalRanks = res.FinalRanks
+		m.Metrics.Lost = res.Lost
 		for _, s := range res.Stats {
 			m.Metrics.BytesSent += s.BytesSent
 			m.Metrics.BytesRecv += s.BytesRecv

@@ -230,3 +230,43 @@ func TestCustomMachineModel(t *testing.T) {
 		t.Fatal("machine model must not affect the tree")
 	}
 }
+
+func TestTrainFaultConfigValidation(t *testing.T) {
+	tab := questTable(t, 200)
+	bad := []Config{
+		{Algorithm: Serial, Faults: "crash@FindSplitI:1:0"},
+		{Algorithm: SPRINT, Processors: 2, CheckpointEvery: 1},
+		{Algorithm: SLIQ, CheckpointDir: "x"},
+		{Processors: 2, CheckpointEvery: -1},
+		{Processors: 2, Faults: "random:3"}, // random without seed
+		{Processors: 2, Faults: "nonsense"},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(tab, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTrainRecoversFromInjectedCrash(t *testing.T) {
+	tab := questTable(t, 800)
+	clean, err := Train(tab, Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{
+		Processors:      4,
+		Faults:          "crash@PerformSplitI:1:2",
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Tree.Equal(clean.Tree) {
+		t.Fatal("recovered tree differs from fault-free tree")
+	}
+	mm := m.Metrics
+	if mm.Recoveries != 1 || mm.FinalRanks != 3 || len(mm.Lost) != 1 || mm.Lost[0] != 2 {
+		t.Fatalf("recovery metrics %+v", mm)
+	}
+}

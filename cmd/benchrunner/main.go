@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, hotpath, hotpathguard, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -210,6 +210,15 @@ func run(args []string, out io.Writer) error {
 
 	if all || want["hotpathguard"] {
 		if err := bench.HotpathGuard(out, *benchDir); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["fault"] {
+		n := int(float64(bench.PaperSizes[0]) * *scale)
+		if err := bench.Faults(out, n, []int{4, 8, 16}, *function, *seed, machine); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

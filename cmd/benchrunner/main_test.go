@@ -111,3 +111,19 @@ func TestRunPhaseExperiments(t *testing.T) {
 		t.Fatal("trace file has no events")
 	}
 }
+
+func TestRunFaultExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fault", "-scale", "0.004"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"EXP-FAULT", "replay recovery", "ckpt recovery", "identical"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "DIFFERS") {
+		t.Fatalf("recovered tree differs from fault-free tree:\n%s", s)
+	}
+}

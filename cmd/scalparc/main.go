@@ -24,6 +24,8 @@ import (
 	"os"
 
 	"repro/classify"
+	"repro/internal/faults"
+	"repro/internal/scalparc"
 )
 
 type jsonAttr struct {
@@ -89,6 +91,10 @@ func run(args []string, stdout io.Writer) error {
 	binaryCats := fs.Bool("binary-cats", false, "binary subset splits for categorical attributes")
 	splitMode := fs.String("split", "exact", "split finding: exact (the paper's algorithm) or binned (quantile histograms, scalparc only)")
 	bins := fs.Int("bins", 0, "quantile bin cap for -split=binned (0 = default 256)")
+	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. crash@FindSplitI:1:2 or random:4:crash,straggle (scalparc only)")
+	faultSeed := fs.Int64("fault-seed", 0, "seed for random: fault specs (required non-zero for them)")
+	ckptDir := fs.String("checkpoint", "", "persist level-boundary checkpoints to this directory (scalparc only)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint every k tree levels (0 = off, or 1 when -checkpoint is set)")
 	dump := fs.Bool("dump", false, "print the induced tree")
 	importance := fs.Bool("importance", false, "print gini attribute importance")
 	jsonOut := fs.String("json-out", "", "write the tree as JSON to this file")
@@ -129,6 +135,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *bins != 0 && split != classify.SplitBinned {
 		return fmt.Errorf("-bins requires -split=binned")
+	}
+	if (*faultSpec != "" || *ckptDir != "" || *ckptEvery != 0) && algorithm != classify.ScalParC {
+		return fmt.Errorf("-faults and -checkpoint require -algo scalparc (got %s)", *algo)
+	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", *ckptEvery)
+	}
+	if *faultSpec != "" {
+		// Validate the spec (including the random-spec seed requirement)
+		// before any data is generated, so a bad flag fails fast.
+		if _, err := faults.Parse(*faultSpec, *faultSeed, *procs); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+	}
+	if *ckptDir != "" {
+		// Probe writability up front: an unwritable checkpoint directory
+		// should refuse the run, not strand it at the first save.
+		if _, err := scalparc.NewCheckpointStore(*ckptDir); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
 	}
 
 	var train, test *classify.Table
@@ -175,6 +201,10 @@ func run(args []string, stdout io.Writer) error {
 		Prune:             *prune,
 		Split:             split,
 		Bins:              *bins,
+		Faults:            *faultSpec,
+		FaultSeed:         *faultSeed,
+		CheckpointEvery:   *ckptEvery,
+		CheckpointDir:     *ckptDir,
 	}
 	if split == classify.SplitBinned {
 		b := *bins
@@ -223,6 +253,10 @@ func run(args []string, stdout io.Writer) error {
 			mm.ModeledSeconds, mm.PresortModeledSeconds, mm.WallSeconds)
 		fmt.Fprintf(stdout, "peak memory per processor %.2f MB; total traffic %.2f MB sent\n",
 			float64(peak)/1e6, float64(mm.BytesSent)/1e6)
+		if mm.Recoveries > 0 {
+			fmt.Fprintf(stdout, "recovered from %d failure(s): lost ranks %v, finished on %d processors\n",
+				mm.Recoveries, mm.Lost, mm.FinalRanks)
+		}
 	}
 	if *prune {
 		fmt.Fprintf(stdout, "pruned %d internal nodes\n", mm.PrunedNodes)

@@ -271,3 +271,94 @@ func TestRunPhasesSerialRejected(t *testing.T) {
 		t.Fatal("serial has no trace; -phases must be rejected")
 	}
 }
+
+func TestRunFaultFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"faults without scalparc", []string{"-quest-function", "1", "-records", "100",
+			"-algo", "serial", "-faults", "crash@FindSplitI:1:0"}, "-algo scalparc"},
+		{"checkpoint without scalparc", []string{"-quest-function", "1", "-records", "100",
+			"-algo", "sprint", "-procs", "2", "-checkpoint-every", "1"}, "-algo scalparc"},
+		{"random spec without seed", []string{"-quest-function", "1", "-records", "100",
+			"-faults", "random:3"}, "seed"},
+		{"bad fault spec", []string{"-quest-function", "1", "-records", "100",
+			"-faults", "melt@FindSplitI:1:0"}, "unknown kind"},
+		{"fault rank out of range", []string{"-quest-function", "1", "-records", "100",
+			"-procs", "2", "-faults", "crash@FindSplitI:1:7"}, "out of range"},
+		{"negative checkpoint interval", []string{"-quest-function", "1", "-records", "100",
+			"-checkpoint-every", "-2"}, "checkpoint-every"},
+	}
+	for _, c := range cases {
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRunRejectsUnwritableCheckpointDir(t *testing.T) {
+	// The checkpoint path nests under a regular file, so creating it fails
+	// on every platform and uid (chmod-based unwritability is ignored for
+	// root).
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-quest-function", "1", "-records", "100",
+		"-checkpoint", filepath.Join(blocker, "sub")}, &out)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("unwritable checkpoint dir: err = %v", err)
+	}
+}
+
+// TestRunCrashRecoveryEndToEnd drives the full CLI path: inject a crash,
+// checkpoint to disk, and confirm the run reports the recovery.
+func TestRunCrashRecoveryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "2", "-records", "1500", "-procs", "4", "-seed", "7",
+		"-faults", "crash@PerformSplitII:2:1", "-checkpoint", dir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"recovered from 1 failure(s)", "lost ranks [1]", "finished on 3 processors"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The recovered run must classify exactly like a fault-free one: compare
+// the dumped trees.
+func TestRunFaultyTreeMatchesCleanTree(t *testing.T) {
+	base := []string{"-quest-function", "3", "-records", "1000", "-procs", "3", "-seed", "9", "-dump"}
+	var clean, faulty bytes.Buffer
+	if err := run(base, &clean); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-faults", "crash@FindSplitI:1:2"), &faulty); err != nil {
+		t.Fatal(err)
+	}
+	treeOf := func(s string) string {
+		if i := strings.Index(s, "training"); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if treeOf(clean.String()) != treeOf(faulty.String()) {
+		t.Fatalf("recovered tree differs from fault-free tree:\n--- clean ---\n%s\n--- faulty ---\n%s",
+			clean.String(), faulty.String())
+	}
+}

@@ -117,7 +117,8 @@ func AllReduceInto[T any](c *Comm, x, out []T, op func(a, b T) T) []T {
 	for r := 0; r < p; r++ {
 		v := all[r].data.([]T)
 		if len(v) != n {
-			panic(fmt.Sprintf("comm: AllReduce length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+			panic(&ProtocolError{Op: "AllReduce", Rank: c.Phys(),
+				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
 		}
 		if first {
 			copy(out, v)
@@ -172,7 +173,8 @@ func ExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []T {
 	for r := 0; r < c.Rank(); r++ {
 		v := all[r].data.([]T)
 		if len(v) != n {
-			panic(fmt.Sprintf("comm: ExScan length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+			panic(&ProtocolError{Op: "ExScan", Rank: c.Phys(),
+				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
 		}
 		for i := range out {
 			out[i] = op(out[i], v[i])
@@ -221,7 +223,8 @@ func ReverseExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []
 	for r := c.Rank() + 1; r < p; r++ {
 		v := all[r].data.([]T)
 		if len(v) != n {
-			panic(fmt.Sprintf("comm: ReverseExScan length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+			panic(&ProtocolError{Op: "ReverseExScan", Rank: c.Phys(),
+				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
 		}
 		for i := range out {
 			out[i] = op(out[i], v[i])
@@ -305,7 +308,8 @@ func Reduce[T any](c *Comm, root int, x []T, op func(a, b T) T) []T {
 	for r := 0; r < p; r++ {
 		v := all[r].data.([]T)
 		if len(v) != n {
-			panic(fmt.Sprintf("comm: Reduce length mismatch: root expects %d elements, rank %d has %d", n, r, len(v)))
+			panic(&ProtocolError{Op: "Reduce", Rank: c.Phys(),
+				Detail: fmt.Sprintf("length mismatch: root expects %d elements, rank %d has %d", n, r, len(v))})
 		}
 		if first {
 			copy(out, v)
@@ -366,7 +370,8 @@ func ReduceScatterInto[T any](c *Comm, x, out []T, counts []int, op func(a, b T)
 	for r := 0; r < p; r++ {
 		v := all[r].data.([]T)
 		if len(v) != n {
-			panic(fmt.Sprintf("comm: ReduceScatter length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v)))
+			panic(&ProtocolError{Op: "ReduceScatter", Rank: c.Phys(),
+				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
 		}
 		if first {
 			copy(out, v[off:off+mine])

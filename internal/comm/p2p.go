@@ -2,10 +2,11 @@ package comm
 
 import "fmt"
 
-// Send transmits a vector to rank dst. It blocks only if dst's mailbox for
-// this sender is full (small fixed buffering, like an MPI eager send).
-// The message carries the sender's virtual clock so the receiver can model
-// transfer completion time.
+// Send transmits a vector to rank dst (a dense rank id). It blocks only if
+// dst's mailbox for this sender is full (small fixed buffering, like an MPI
+// eager send). The message carries the sender's virtual clock so the
+// receiver can model transfer completion time. If a peer failure is
+// detected while blocked, Send unwinds with a *RankFailure.
 func Send[T any](c *Comm, dst int, x []T) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("comm: Send to rank %d out of range [0,%d)", dst, c.Size()))
@@ -13,6 +14,7 @@ func Send[T any](c *Comm, dst int, x []T) {
 	if dst == c.Rank() {
 		panic("comm: Send to self; use a local copy instead")
 	}
+	c.enterOp(OpSend)
 	bytes := len(x) * sizeOf[T]()
 	st := c.Stats()
 	st.BytesSent += int64(bytes)
@@ -24,13 +26,22 @@ func Send[T any](c *Comm, dst int, x []T) {
 	copy(buf, x)
 	// The sender pays the startup latency and hands the data off.
 	c.Compute(c.Model().P2PLatency)
-	c.w.mail[c.Rank()][dst] <- pmessage{data: buf, bytes: bytes, clock: c.ClockPicos()}
+	select {
+	case c.w.mail[c.Phys()][c.w.physOf[dst]] <- pmessage{data: buf, bytes: bytes, clock: c.ClockPicos()}:
+	case <-c.failChan():
+		c.failNow()
+	}
 }
 
-// Recv receives the next vector sent by rank src. It blocks until a message
-// is available. The receiver's clock advances to the point at which the
-// transfer could have completed: max(receive posted, send posted) plus the
-// modeled transfer time.
+// Recv receives the next vector sent by rank src (a dense rank id). It
+// blocks until a message is available, unwinding with a *RankFailure if a
+// peer failure is detected first. The receiver's clock advances to the
+// point at which the transfer could have completed: max(receive posted,
+// send posted) plus the modeled transfer time.
+//
+// A message of the wrong element type raises a typed *ProtocolError (the
+// boundary between ranks is a data boundary, not a programmer invariant
+// local to one rank).
 func Recv[T any](c *Comm, src int) []T {
 	if src < 0 || src >= c.Size() {
 		panic(fmt.Sprintf("comm: Recv from rank %d out of range [0,%d)", src, c.Size()))
@@ -38,10 +49,17 @@ func Recv[T any](c *Comm, src int) []T {
 	if src == c.Rank() {
 		panic("comm: Recv from self; use a local copy instead")
 	}
-	m := <-c.w.mail[src][c.Rank()]
+	c.enterOp(OpRecv)
+	var m pmessage
+	select {
+	case m = <-c.w.mail[c.w.physOf[src]][c.Phys()]:
+	case <-c.failChan():
+		c.failNow()
+	}
 	x, ok := m.data.([]T)
 	if !ok {
-		panic(fmt.Sprintf("comm: Recv type mismatch from rank %d: got %T", src, m.data))
+		panic(&ProtocolError{Op: "Recv", Rank: c.Phys(),
+			Detail: fmt.Sprintf("type mismatch from rank %d: got %T", src, m.data)})
 	}
 	st := c.Stats()
 	st.BytesRecv += int64(m.bytes)

@@ -18,6 +18,19 @@ type Stats struct {
 	ReduceScatters int64
 	Bcasts         int64
 	Gathers        int64
+
+	// Fault and recovery counters (see faults.go). Drops and Corruptions
+	// count injected transport faults; Retries the modeled
+	// retransmissions that healed them; Straggles injected slowdowns;
+	// Crashes fail-stop faults on this rank; FailuresSeen peer failures
+	// this rank detected; Shrinks recovery rendezvous this rank joined.
+	Drops        int64
+	Corruptions  int64
+	Retries      int64
+	Straggles    int64
+	Crashes      int64
+	FailuresSeen int64
+	Shrinks      int64
 }
 
 // Add accumulates other into s.
@@ -35,6 +48,13 @@ func (s *Stats) Add(other Stats) {
 	s.ReduceScatters += other.ReduceScatters
 	s.Bcasts += other.Bcasts
 	s.Gathers += other.Gathers
+	s.Drops += other.Drops
+	s.Corruptions += other.Corruptions
+	s.Retries += other.Retries
+	s.Straggles += other.Straggles
+	s.Crashes += other.Crashes
+	s.FailuresSeen += other.FailuresSeen
+	s.Shrinks += other.Shrinks
 }
 
 // MemMeter tracks one rank's current and peak tracked memory, in bytes.

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/timing"
 	"repro/internal/trace"
@@ -93,8 +94,35 @@ type World struct {
 	// is race-free under the barrier protocol.
 	exchBuf [][]deposit
 
-	mail [][]chan pmessage // mail[src][dst]
+	mail [][]chan pmessage // mail[src][dst], physical indices
+
+	// Failure machinery (see faults.go). Collective wire state (cells,
+	// barrier slots) is indexed by *dense* rank id; per-rank history
+	// (clocks, stats, mem, traces, mail) stays physical so a lost rank's
+	// record survives for reporting. Before any failure the two coincide.
+	fmu           sync.Mutex
+	dirty         atomic.Bool   // mirrors bar.dirty for lock-free op entry
+	live          []bool        // live[phys]
+	denseOf       []int         // denseOf[phys] = dense id, -1 if dead
+	physOf        []int         // physOf[dense] = phys
+	sz            int           // current dense size; written only at NewWorld/Shrink
+	failCh        chan struct{} // closed on first failure of the epoch
+	failOpen      bool
+	failCause     error // first failure's cause since the last Shrink
+	lost          []int // physical ranks lost since the last Shrink
+	detectCharged []bool
+	shrinkWait    int
+	shrinkGen     uint64
+	shrinkCond    *sync.Cond
+	shrinkClock   int64
+	shrinkLost    []int
+	inj           FaultInjector
+	detectPicos   int64
 }
+
+// defaultDetectSeconds is the modeled bounded-timeout cost each survivor
+// pays to detect a peer failure (override with SetDetectTimeout).
+const defaultDetectSeconds = 100e-6
 
 type deposit struct {
 	data  any
@@ -137,7 +165,46 @@ func NewWorld(p int, model timing.Model) *World {
 			w.mail[i][j] = make(chan pmessage, 4)
 		}
 	}
+	w.live = make([]bool, p)
+	w.denseOf = make([]int, p)
+	w.physOf = make([]int, p)
+	w.detectCharged = make([]bool, p)
+	for i := range w.live {
+		w.live[i] = true
+		w.denseOf[i] = i
+		w.physOf[i] = i
+	}
+	w.sz = p
+	w.failCh = make(chan struct{})
+	w.failOpen = true
+	w.shrinkCond = sync.NewCond(&w.fmu)
+	w.detectPicos = picos(defaultDetectSeconds)
 	return w
+}
+
+// SetFaultInjector installs a deterministic fault injector consulted at
+// every communication-operation entry. Call only while no SPMD section is
+// running; nil removes the injector.
+func (w *World) SetFaultInjector(inj FaultInjector) { w.inj = inj }
+
+// SetDetectTimeout sets the modeled failure-detection timeout each
+// survivor's clock is charged when it first observes a peer failure.
+func (w *World) SetDetectTimeout(seconds float64) { w.detectPicos = picos(seconds) }
+
+// LiveRanks returns the current number of live ranks (the dense world
+// size after any Shrink). Call only while no SPMD section is running.
+func (w *World) LiveRanks() int { return w.sz }
+
+// Lost returns the physical ids of all ranks lost so far, in ascending
+// order. Call only while no SPMD section is running.
+func (w *World) Lost() []int {
+	var out []int
+	for r, alive := range w.live {
+		if !alive {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Size returns the number of ranks in the world.
@@ -157,13 +224,29 @@ func (w *World) Rank(r int) *Comm {
 // Run executes f once per rank, each on its own goroutine, and returns when
 // all ranks have finished. It is the standard way to run an SPMD section.
 // A panic on any rank propagates and crashes the program, as an unrecovered
-// invariant violation should.
+// invariant violation should — except the Crashed payload of an injected
+// fail-stop fault, which is absorbed here (the rank is already marked dead
+// and the survivors carry on; see faults.go).
+//
+// Run spawns goroutines only for currently live ranks, so an SPMD section
+// started after a fault runs on the shrunk world.
 func (w *World) Run(f func(c *Comm)) {
 	var wg sync.WaitGroup
-	wg.Add(w.p)
 	for r := 0; r < w.p; r++ {
+		if !w.live[r] {
+			continue
+		}
+		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					if _, ok := e.(Crashed); ok {
+						return
+					}
+					panic(e)
+				}
+			}()
 			f(w.Rank(r))
 		}(r)
 	}
@@ -260,11 +343,18 @@ type Comm struct {
 	rank int
 }
 
-// Rank returns this rank's index in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
+// Rank returns this rank's dense index in [0, Size). Before any failure it
+// equals the physical rank; after a Shrink the survivors are renumbered
+// densely so all collectives (and block-distribution arithmetic built on
+// Rank/Size) keep working on the smaller world.
+func (c *Comm) Rank() int { return c.w.denseOf[c.rank] }
 
-// Size returns the number of ranks in the world.
-func (c *Comm) Size() int { return c.w.p }
+// Phys returns this rank's physical id, stable across Shrink renumbering.
+// Per-rank world state (clocks, stats, traces) is indexed by it.
+func (c *Comm) Phys() int { return c.rank }
+
+// Size returns the number of live ranks in the world.
+func (c *Comm) Size() int { return c.w.sz }
 
 // Model returns the world's cost model.
 func (c *Comm) Model() timing.Model { return c.w.model }
@@ -309,6 +399,14 @@ func (c *Comm) SetPhase(p trace.Phase, level int) {
 	c.w.traces[c.rank].SetPhase(p, level, c.w.clocks[c.rank])
 }
 
+// Event records a named instant event on this rank's trace timeline at
+// the current virtual clock (rendered as an instant event in the Chrome
+// export). The fault machinery uses it for faults, retries, detections,
+// shrinks, checkpoints, and restores.
+func (c *Comm) Event(name string) {
+	c.w.traces[c.rank].AddEvent(name, c.w.clocks[c.rank])
+}
+
 // traceComm attributes one communication operation's bytes to the current
 // (phase, level) bucket. Callers update the whole-run Stats themselves;
 // the two stay consistent because every Stats byte update is paired with
@@ -327,32 +425,36 @@ func (c *Comm) Stats() *Stats { return &c.w.stats[c.rank] }
 // clocks to the maximum, and charges the modeled barrier cost.
 func (c *Comm) Barrier() {
 	w := c.w
-	w.cells[c.rank] = deposit{clock: w.clocks[c.rank]}
-	w.bar.await()
+	c.enterOp(OpBarrier)
+	sz := w.sz
+	w.cells[c.Rank()] = deposit{clock: w.clocks[c.rank]}
+	c.await()
 	var max int64
-	for r := 0; r < w.p; r++ {
+	for r := 0; r < sz; r++ {
 		if w.cells[r].clock > max {
 			max = w.cells[r].clock
 		}
 	}
-	w.bar.await()
-	c.advanceTo(max + picos(w.model.Barrier(w.p)))
+	c.await()
+	c.advanceTo(max + picos(w.model.Barrier(sz)))
 	w.stats[c.rank].Barriers++
 	c.traceComm(0, 0)
 }
 
 // exchange is the collective building block: every rank deposits one value
-// and receives the full vector of deposits in rank order. The two barriers
-// make the deposit array race-free between consecutive exchanges. The
-// caller's clock is synchronized to the maximum deposit clock; the caller
-// then adds the operation-specific modeled cost.
+// and receives the full vector of deposits in (dense) rank order. The two
+// barriers make the deposit array race-free between consecutive exchanges.
+// The caller's clock is synchronized to the maximum deposit clock; the
+// caller then adds the operation-specific modeled cost.
 func (c *Comm) exchange(data any) []deposit {
 	w := c.w
-	w.cells[c.rank] = deposit{data: data, clock: w.clocks[c.rank]}
-	w.bar.await()
-	all := w.exchBuf[c.rank]
-	copy(all, w.cells)
-	w.bar.await()
+	c.enterOp(OpCollective)
+	sz := w.sz
+	w.cells[c.Rank()] = deposit{data: data, clock: w.clocks[c.rank]}
+	c.await()
+	all := w.exchBuf[c.rank][:sz]
+	copy(all, w.cells[:sz])
+	c.await()
 	var max int64
 	for r := range all {
 		if all[r].clock > max {
@@ -363,13 +465,233 @@ func (c *Comm) exchange(data any) []deposit {
 	return all
 }
 
-// barrier is a reusable counting barrier.
+// enterOp is the fault hook at the top of every communication operation:
+// it unwinds the rank if a peer failure is pending, then consults the
+// fault injector for this (rank, phase, level, op) site. It runs one
+// atomic load plus a nil check when no fault machinery is in use.
+func (c *Comm) enterOp(op Op) {
+	w := c.w
+	if w.dirty.Load() {
+		c.failNow()
+	}
+	if w.inj == nil {
+		return
+	}
+	k := w.traces[c.rank].Current()
+	act := w.inj.Act(Site{Rank: c.rank, Phase: k.Phase, Level: k.Level, Op: op})
+	if act.SkewPicos > 0 {
+		c.advance(act.SkewPicos)
+		w.stats[c.rank].Straggles++
+		c.Event("fault:straggle")
+	}
+	if act.Crash {
+		if w.markDead(c.rank, ErrCrashed) {
+			w.stats[c.rank].Crashes++
+			c.Event("fault:crash")
+			panic(Crashed{Rank: c.rank})
+		}
+		// Refusing to kill the last live rank: a machine with no
+		// survivors has no one left to recover.
+	}
+	if act.Drop || act.Corrupt {
+		if act.Corrupt && op == OpCollective {
+			// A corrupted collective deposit poisons data every rank
+			// folds; no retransmission can fix it. Deterministic abort.
+			err := &ProtocolError{Op: op.String(), Rank: c.rank,
+				Detail: "corrupted collective deposit detected (injected)"}
+			w.markDead(c.rank, err)
+			w.stats[c.rank].Corruptions++
+			c.Event("fault:corrupt-collective")
+			panic(err)
+		}
+		// Transient transport fault: the checksum catches it and the
+		// message is retransmitted. Charge the retransmission penalty.
+		if act.Drop {
+			w.stats[c.rank].Drops++
+			c.Event("fault:drop")
+		} else {
+			w.stats[c.rank].Corruptions++
+			c.Event("fault:corrupt")
+		}
+		w.stats[c.rank].Retries++
+		c.advance(picos(2 * w.model.P2PLatency))
+		c.Event("fault:retry")
+	}
+}
+
+// failNow charges the modeled detection timeout (once per failure epoch)
+// and unwinds the rank with a *RankFailure describing the lost peers.
+func (c *Comm) failNow() {
+	w := c.w
+	w.fmu.Lock()
+	lost := append([]int(nil), w.lost...)
+	cause := w.failCause
+	w.fmu.Unlock()
+	if !w.detectCharged[c.rank] {
+		w.detectCharged[c.rank] = true
+		c.advance(w.detectPicos)
+		w.stats[c.rank].FailuresSeen++
+		c.Event("fault:detected")
+	}
+	panic(&RankFailure{Lost: lost, Cause: cause})
+}
+
+// markDead removes a rank from the live set, releases every blocked
+// survivor (dirty barrier + closed failure channel), and records the
+// cause. Returns false if rank is the last live one (refused) or already
+// dead. Safe to call from any rank's goroutine.
+func (w *World) markDead(rank int, cause error) bool {
+	w.fmu.Lock()
+	nlive := 0
+	for _, a := range w.live {
+		if a {
+			nlive++
+		}
+	}
+	if !w.live[rank] || nlive <= 1 {
+		w.fmu.Unlock()
+		return false
+	}
+	w.live[rank] = false
+	w.lost = append(w.lost, rank)
+	if w.failCause == nil {
+		w.failCause = cause
+	}
+	if w.failOpen {
+		close(w.failCh)
+		w.failOpen = false
+	}
+	w.maybeFinishShrink()
+	w.fmu.Unlock()
+
+	w.dirty.Store(true)
+	b := w.bar
+	b.mu.Lock()
+	b.dirty = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return true
+}
+
+// failChan returns the channel closed on the current epoch's first
+// failure, for selects in blocking point-to-point operations.
+func (c *Comm) failChan() <-chan struct{} {
+	w := c.w
+	w.fmu.Lock()
+	ch := w.failCh
+	w.fmu.Unlock()
+	return ch
+}
+
+// Shrink is the survivors' recovery rendezvous (the MPI-ULFM shrink): all
+// live ranks call it after unwinding with a recoverable *RankFailure. It
+// renumbers the survivors densely, resets the barrier and mailboxes,
+// synchronizes the survivors' clocks, and returns the physical ids of the
+// ranks lost since the previous Shrink. After it returns, Rank/Size and
+// every collective work on the shrunk world.
+func (c *Comm) Shrink() []int {
+	w := c.w
+	w.fmu.Lock()
+	w.shrinkWait++
+	gen := w.shrinkGen
+	w.maybeFinishShrink()
+	for w.shrinkGen == gen {
+		w.shrinkCond.Wait()
+	}
+	lost := w.shrinkLost
+	w.fmu.Unlock()
+
+	c.advanceTo(w.shrinkClock)
+	w.stats[c.rank].Shrinks++
+	c.Event("recovery:shrink")
+	return lost
+}
+
+// maybeFinishShrink completes the shrink once every live rank has arrived.
+// Called under fmu, from Shrink arrivals and from markDead (a second crash
+// striking while survivors are already waiting lowers the quorum).
+func (w *World) maybeFinishShrink() {
+	if w.shrinkWait == 0 {
+		return
+	}
+	nlive := 0
+	for _, a := range w.live {
+		if a {
+			nlive++
+		}
+	}
+	if w.shrinkWait < nlive {
+		return
+	}
+	// Dense renumbering of the survivors.
+	d := 0
+	var maxClock int64
+	for r, alive := range w.live {
+		if !alive {
+			w.denseOf[r] = -1
+			continue
+		}
+		w.denseOf[r] = d
+		w.physOf[d] = r
+		d++
+		if w.clocks[r] > maxClock {
+			maxClock = w.clocks[r]
+		}
+	}
+	w.sz = d
+	w.shrinkClock = maxClock
+	// Fresh wire state: barrier sized to the survivors, mailboxes
+	// drained, a new failure epoch.
+	b := w.bar
+	b.mu.Lock()
+	b.p = d
+	b.count = 0
+	b.dirty = false
+	b.mu.Unlock()
+	w.dirty.Store(false)
+	for i := range w.mail {
+		for j := range w.mail[i] {
+			for {
+				select {
+				case <-w.mail[i][j]:
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+	w.failCh = make(chan struct{})
+	w.failOpen = true
+	w.failCause = nil
+	w.shrinkLost = w.lost
+	w.lost = nil
+	for i := range w.detectCharged {
+		w.detectCharged[i] = false
+	}
+	w.shrinkWait = 0
+	w.shrinkGen++
+	w.shrinkCond.Broadcast()
+}
+
+// await enters the counting barrier, unwinding with a rank failure if the
+// barrier is (or goes) dirty while this rank is inside it.
+func (c *Comm) await() {
+	if !c.w.bar.await() {
+		c.failNow()
+	}
+}
+
+// barrier is a reusable counting barrier. A rank failure marks it dirty:
+// every waiter (and every later arrival) returns false until Shrink
+// resets it.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	p     int
 	count int
 	gen   uint64
+	dirty bool
 }
 
 func newBarrier(p int) *barrier {
@@ -378,8 +700,14 @@ func newBarrier(p int) *barrier {
 	return b
 }
 
-func (b *barrier) await() {
+// await returns true once every rank has arrived, false if the barrier
+// was aborted by a rank failure.
+func (b *barrier) await() bool {
 	b.mu.Lock()
+	if b.dirty {
+		b.mu.Unlock()
+		return false
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.p {
@@ -387,10 +715,12 @@ func (b *barrier) await() {
 		b.gen++
 		b.cond.Broadcast()
 		b.mu.Unlock()
-		return
+		return true
 	}
-	for b.gen == gen {
+	for b.gen == gen && !b.dirty {
 		b.cond.Wait()
 	}
+	ok := !b.dirty || b.gen != gen
 	b.mu.Unlock()
+	return ok
 }

@@ -28,6 +28,15 @@ const (
 	catRecordSize  = 4 + 4 + 1
 )
 
+// Every list file opens with a fixed header: a magic word and the payload
+// byte count. The count is what turns a torn write into a detected error
+// instead of a silently shorter list — without it, truncation at a record
+// boundary is indistinguishable from a complete file.
+const (
+	fileMagic  = 0x4c4d4558 // "XEML"
+	headerSize = 4 + 8      // magic, payload bytes
+)
+
 // Stats counts the store's disk traffic.
 type Stats struct {
 	BytesWritten int64
@@ -97,24 +106,47 @@ func (s *Store) WriteCat(name string, entries []dataset.CatEntry) error {
 	})
 }
 
-func (s *Store) write(name string, bytes int, fill func(*bufio.Writer) error) error {
-	f, err := os.Create(s.path(name))
+// write creates the named list atomically: the data goes to a temp file in
+// the store directory which is renamed over the target only after a
+// successful flush and close. Every early return removes the temp file, so
+// a failed write can neither clobber an existing good list nor leave
+// litter behind.
+func (s *Store) write(name string, bytes int, fill func(*bufio.Writer) error) (err error) {
+	f, err := os.CreateTemp(s.dir, name+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("extmem: creating %s: %w", name, err)
 	}
+	tmp := f.Name()
+	closed := false
+	defer func() {
+		if err != nil {
+			if !closed {
+				f.Close()
+			}
+			os.Remove(tmp)
+		}
+	}()
 	w := bufio.NewWriterSize(f, s.bufSize)
-	if err := fill(w); err != nil {
-		f.Close()
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(bytes))
+	if _, err = w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("extmem: writing %s: %w", name, err)
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err = fill(w); err != nil {
+		return fmt.Errorf("extmem: writing %s: %w", name, err)
+	}
+	if err = w.Flush(); err != nil {
 		return fmt.Errorf("extmem: flushing %s: %w", name, err)
 	}
-	if err := f.Close(); err != nil {
+	closed = true
+	if err = f.Close(); err != nil {
 		return fmt.Errorf("extmem: closing %s: %w", name, err)
 	}
-	s.stats.BytesWritten += int64(bytes)
+	if err = os.Rename(tmp, s.path(name)); err != nil {
+		return fmt.Errorf("extmem: renaming %s: %w", name, err)
+	}
+	s.stats.BytesWritten += int64(bytes) // payload only; the header is bookkeeping, not list I/O
 	return nil
 }
 
@@ -150,15 +182,34 @@ func (s *Store) scan(name string, recordSize int, fn func([]byte) error) error {
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, s.bufSize)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("extmem: reading %s header: %w", name, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return fmt.Errorf("extmem: %s is not a list file (bad magic)", name)
+	}
+	payload := int64(binary.LittleEndian.Uint64(hdr[4:]))
+	if payload < 0 || payload%int64(recordSize) != 0 {
+		return fmt.Errorf("extmem: %s header claims %d payload bytes, not a multiple of the %d-byte record", name, payload, recordSize)
+	}
 	buf := make([]byte, recordSize)
 	s.stats.Scans++
+	var got int64
 	for {
 		_, err := io.ReadFull(r, buf)
 		if err == io.EOF {
+			if got != payload {
+				return fmt.Errorf("extmem: %s truncated: header claims %d payload bytes, file holds %d", name, payload, got)
+			}
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("extmem: reading %s: %w", name, err)
+		}
+		got += int64(recordSize)
+		if got > payload {
+			return fmt.Errorf("extmem: %s has %d trailing bytes beyond the declared payload", name, got-payload)
 		}
 		s.stats.BytesRead += int64(recordSize)
 		s.stats.EntriesRead++

@@ -1,0 +1,190 @@
+package extmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// listBytes reads the raw on-disk file for a list.
+func listBytes(t *testing.T, s *Store, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(s.path(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func rewrite(t *testing.T, s *Store, name string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(s.path(name), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanAll(s *Store, name string) (int, error) {
+	n := 0
+	err := s.ScanCont(name, func(dataset.ContEntry) error { n++; return nil })
+	return n, err
+}
+
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestTruncationDetected: a file cut short — even at an exact record
+// boundary, which used to read back as a silently shorter list — must
+// fail the scan.
+func TestTruncationDetected(t *testing.T) {
+	s := newTestStore(t)
+	entries := make([]dataset.ContEntry, 20)
+	for i := range entries {
+		entries[i] = dataset.ContEntry{Val: float64(i), Rid: int32(i)}
+	}
+	if err := s.WriteCont("x", entries); err != nil {
+		t.Fatal(err)
+	}
+	full := listBytes(t, s, "x")
+	if len(full) != headerSize+20*contRecordSize {
+		t.Fatalf("file is %d bytes, want %d", len(full), headerSize+20*contRecordSize)
+	}
+	cuts := []struct {
+		name string
+		at   int
+	}{
+		{"mid-record", headerSize + 5*contRecordSize + 3},
+		{"record boundary", headerSize + 5*contRecordSize},
+		{"empty payload", headerSize},
+		{"inside header", headerSize - 2},
+	}
+	for _, c := range cuts {
+		rewrite(t, s, "x", full[:c.at])
+		if _, err := scanAll(s, "x"); err == nil {
+			t.Errorf("truncation at %s (%d bytes) scanned cleanly", c.name, c.at)
+		}
+	}
+	// Restore and confirm the intact file still reads.
+	rewrite(t, s, "x", full)
+	if n, err := scanAll(s, "x"); err != nil || n != 20 {
+		t.Fatalf("restored file: n=%d err=%v", n, err)
+	}
+}
+
+func TestTrailingGarbageDetected(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.WriteCont("x", make([]dataset.ContEntry, 4)); err != nil {
+		t.Fatal(err)
+	}
+	full := listBytes(t, s, "x")
+	rewrite(t, s, "x", append(full, make([]byte, contRecordSize)...))
+	if _, err := scanAll(s, "x"); err == nil {
+		t.Fatal("trailing extra record scanned cleanly")
+	}
+}
+
+func TestBadMagicDetected(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.WriteCont("x", make([]dataset.ContEntry, 2)); err != nil {
+		t.Fatal(err)
+	}
+	full := listBytes(t, s, "x")
+	full[0] ^= 0xff
+	rewrite(t, s, "x", full)
+	if _, err := scanAll(s, "x"); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+}
+
+func TestHeaderRecordSizeMismatchDetected(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.WriteCont("x", make([]dataset.ContEntry, 2)); err != nil {
+		t.Fatal(err)
+	}
+	full := listBytes(t, s, "x")
+	// Claim a payload that is not a multiple of the record size.
+	binary.LittleEndian.PutUint64(full[4:], uint64(contRecordSize+1))
+	rewrite(t, s, "x", full)
+	if _, err := scanAll(s, "x"); err == nil {
+		t.Fatal("non-multiple payload length accepted")
+	}
+}
+
+// TestFailedWriteLeavesNoTempAndKeepsOldList: a write that errors mid-fill
+// must remove its temp file and leave a previously written good list
+// untouched at the final path.
+func TestFailedWriteLeavesNoTempAndKeepsOldList(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []dataset.ContEntry{{Val: 1, Rid: 1, Cid: 1}, {Val: 2, Rid: 2, Cid: 0}}
+	if err := s.WriteCont("x", good); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().BytesWritten
+
+	// Inject a failure partway through the fill.
+	err = s.write("x", 100*contRecordSize, func(w *bufio.Writer) error {
+		w.Write(make([]byte, 3*contRecordSize))
+		return fmt.Errorf("injected short write")
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("injected failure not surfaced: %v", err)
+	}
+	assertNoTempLitter(t, dir)
+	if s.Stats().BytesWritten != before {
+		t.Fatalf("failed write counted: %d -> %d", before, s.Stats().BytesWritten)
+	}
+	// The old list survives intact.
+	n, err := scanAll(s, "x")
+	if err != nil || n != len(good) {
+		t.Fatalf("old list damaged: n=%d err=%v", n, err)
+	}
+}
+
+// TestWriteToRemovedDirFails: when the store directory disappears, the
+// write fails cleanly (nothing to leak — there is nowhere to leak to).
+func TestWriteToRemovedDirFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := NewStore(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCont("x", make([]dataset.ContEntry, 1)); err == nil {
+		t.Fatal("write into removed dir succeeded")
+	}
+}
+
+func TestNoTempLitterAfterNormalWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.WriteCont(fmt.Sprintf("l%d", i), make([]dataset.ContEntry, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertNoTempLitter(t, dir)
+}

@@ -1,0 +1,309 @@
+// Package faults is the deterministic, seed-driven fault injector for the
+// simulated machine: a Schedule of events, each striking one (rank, phase,
+// level) site exactly once, implementing comm.FaultInjector.
+//
+// Determinism is the point: the same schedule against the same run injects
+// the same faults at the same operations, so chaos tests can assert the
+// recovered tree byte-identical to the fault-free oracle, and a failing
+// schedule found by fuzzing replays exactly.
+//
+// Matching is counted per (rank, phase, level): an event with Nth = k
+// fires at the k-th (0-based) communication operation the rank enters
+// while tagged with that phase and level. Counters are confined per rank
+// (only rank r's goroutine touches rank r's counters), so Act is safe to
+// call from every rank concurrently without locks.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/trace"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+const (
+	// Crash is a fail-stop rank crash (recoverable via checkpoint replay).
+	Crash Kind = iota
+	// Drop is a dropped message, detected and retransmitted (transient).
+	Drop
+	// Corrupt is a corrupted message: retransmitted on p2p ops, a
+	// deterministic *ProtocolError abort on collectives.
+	Corrupt
+	// Straggle slows the rank down by SkewPicos of virtual time.
+	Straggle
+)
+
+var kindNames = [...]string{"crash", "drop", "corrupt", "straggle"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event schedules one fault at a (rank, phase, level) site.
+type Event struct {
+	// Rank is the physical rank struck (stable across recovery shrinks).
+	Rank int
+	// Phase and Level select the induction site.
+	Phase trace.Phase
+	Level int
+	// Nth selects the Nth (0-based) communication operation the rank
+	// enters at that site.
+	Nth int
+	// Kind is the fault class; SkewPicos is the slowdown for Straggle.
+	Kind      Kind
+	SkewPicos int64
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%s@%s:%d:%d", e.Kind, e.Phase, e.Level, e.Rank)
+	if e.Kind == Straggle {
+		s += fmt.Sprintf(":%v", time.Duration(e.SkewPicos/1000)*time.Nanosecond)
+	}
+	if e.Nth != 0 {
+		s += fmt.Sprintf("#%d", e.Nth)
+	}
+	return s
+}
+
+// site keys the per-rank op counters.
+type site struct {
+	phase trace.Phase
+	level int
+}
+
+// Schedule is a deterministic set of one-shot fault events implementing
+// comm.FaultInjector.
+type Schedule struct {
+	events []Event
+	fired  []bool
+	seen   []map[site]int // per physical rank; owner-goroutine access only
+}
+
+// NewSchedule builds a schedule for a p-rank world. Events with ranks
+// outside [0, p) never fire.
+func NewSchedule(p int, events ...Event) *Schedule {
+	s := &Schedule{
+		events: append([]Event(nil), events...),
+		fired:  make([]bool, len(events)),
+		seen:   make([]map[site]int, p),
+	}
+	for r := range s.seen {
+		s.seen[r] = make(map[site]int)
+	}
+	return s
+}
+
+// Act implements comm.FaultInjector.
+func (s *Schedule) Act(at comm.Site) comm.FaultAction {
+	var act comm.FaultAction
+	if at.Rank < 0 || at.Rank >= len(s.seen) {
+		return act
+	}
+	k := site{phase: at.Phase, level: at.Level}
+	n := s.seen[at.Rank][k]
+	s.seen[at.Rank][k] = n + 1
+	for i := range s.events {
+		e := &s.events[i]
+		// The rank check must come first: each fired flag is then touched
+		// only by its event's own rank, keeping Act lock-free.
+		if e.Rank != at.Rank || s.fired[i] || e.Phase != at.Phase || e.Level != at.Level || e.Nth != n {
+			continue
+		}
+		s.fired[i] = true
+		switch e.Kind {
+		case Crash:
+			act.Crash = true
+		case Drop:
+			act.Drop = true
+		case Corrupt:
+			act.Corrupt = true
+		case Straggle:
+			act.SkewPicos += e.SkewPicos
+		}
+	}
+	return act
+}
+
+// Events returns the schedule's events.
+func (s *Schedule) Events() []Event { return append([]Event(nil), s.events...) }
+
+// Fired returns how many events have fired so far. Call only while no
+// SPMD section is running.
+func (s *Schedule) Fired() int {
+	n := 0
+	for _, f := range s.fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Recoverable reports whether every event in the schedule is one the
+// recovery path can heal (everything except Corrupt on a collective;
+// conservatively, everything except Corrupt).
+func (s *Schedule) Recoverable() bool {
+	for _, e := range s.events {
+		if e.Kind == Corrupt {
+			return false
+		}
+	}
+	return true
+}
+
+// Random generates n events, reproducible from the seed: kinds drawn from
+// kinds (all four if empty), ranks in [0, p), phases across the induction
+// phases, levels in [0, maxLevel], straggle skews up to 1ms of virtual
+// time. At most one Crash per rank is generated so a schedule can never
+// ask to kill the whole machine.
+func Random(seed int64, p, n, maxLevel int, kinds ...Kind) *Schedule {
+	if len(kinds) == 0 {
+		kinds = []Kind{Crash, Drop, Corrupt, Straggle}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	crashed := make([]bool, p)
+	events := make([]Event, 0, n)
+	phases := []trace.Phase{trace.Sort, trace.FindSplitI, trace.FindSplitII,
+		trace.PerformSplitI, trace.PerformSplitII, trace.Other}
+	for len(events) < n {
+		e := Event{
+			Rank:  rng.Intn(p),
+			Phase: phases[rng.Intn(len(phases))],
+			Level: rng.Intn(maxLevel + 1),
+			Kind:  kinds[rng.Intn(len(kinds))],
+		}
+		if e.Kind == Crash {
+			if crashed[e.Rank] {
+				continue
+			}
+			crashed[e.Rank] = true
+		}
+		if e.Kind == Straggle {
+			e.SkewPicos = 1 + rng.Int63n(1_000_000_000) // up to 1ms
+		}
+		events = append(events, e)
+	}
+	return NewSchedule(p, events...)
+}
+
+// Parse builds a schedule for a p-rank world from a -faults flag spec:
+// a comma-separated list of events
+//
+//	kind@phase:level:rank            e.g. crash@FindSplitI:1:2
+//	straggle@phase:level:rank:dur    e.g. straggle@PerformSplitII:0:1:5ms
+//
+// optionally suffixed #n to strike the n-th op at the site, or the form
+//
+//	random:n[:kinds]                 e.g. random:4:crash,straggle
+//
+// which draws n events from the seed (required to be non-zero, so random
+// chaos runs are always reproducible on purpose).
+func Parse(spec string, seed int64, p int) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("faults: empty spec")
+	}
+	if rest, ok := strings.CutPrefix(spec, "random:"); ok {
+		if seed == 0 {
+			return nil, fmt.Errorf("faults: %q requires an explicit non-zero seed (-fault-seed)", spec)
+		}
+		parts := strings.SplitN(rest, ":", 2)
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faults: bad random event count %q", parts[0])
+		}
+		var kinds []Kind
+		if len(parts) == 2 {
+			for _, ks := range strings.Split(parts[1], ",") {
+				k, err := parseKind(ks)
+				if err != nil {
+					return nil, err
+				}
+				kinds = append(kinds, k)
+			}
+		}
+		return Random(seed, p, n, 6, kinds...), nil
+	}
+	var events []Event
+	for _, es := range strings.Split(spec, ",") {
+		e, err := parseEvent(strings.TrimSpace(es), p)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return NewSchedule(p, events...), nil
+}
+
+func parseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown kind %q (want crash, drop, corrupt, or straggle)", s)
+}
+
+func parsePhase(s string) (trace.Phase, error) {
+	for p := trace.Other; int(p) < trace.NumPhases; p++ {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown phase %q (want Sort, FindSplitI, FindSplitII, PerformSplitI, PerformSplitII, or Other)", s)
+}
+
+func parseEvent(s string, p int) (Event, error) {
+	var e Event
+	body, nth, hasNth := strings.Cut(s, "#")
+	if hasNth {
+		n, err := strconv.Atoi(nth)
+		if err != nil || n < 0 {
+			return e, fmt.Errorf("faults: bad op index %q in %q", nth, s)
+		}
+		e.Nth = n
+	}
+	kindStr, rest, ok := strings.Cut(body, "@")
+	if !ok {
+		return e, fmt.Errorf("faults: event %q is not kind@phase:level:rank", s)
+	}
+	var err error
+	if e.Kind, err = parseKind(kindStr); err != nil {
+		return e, err
+	}
+	parts := strings.Split(rest, ":")
+	want := 3
+	if e.Kind == Straggle {
+		want = 4
+	}
+	if len(parts) != want {
+		return e, fmt.Errorf("faults: event %q needs %d colon-separated fields after @", s, want)
+	}
+	if e.Phase, err = parsePhase(parts[0]); err != nil {
+		return e, err
+	}
+	if e.Level, err = strconv.Atoi(parts[1]); err != nil || e.Level < 0 {
+		return e, fmt.Errorf("faults: bad level %q in %q", parts[1], s)
+	}
+	if e.Rank, err = strconv.Atoi(parts[2]); err != nil || e.Rank < 0 || e.Rank >= p {
+		return e, fmt.Errorf("faults: rank %q in %q out of range [0,%d)", parts[2], s, p)
+	}
+	if e.Kind == Straggle {
+		d, err := time.ParseDuration(parts[3])
+		if err != nil || d <= 0 {
+			return e, fmt.Errorf("faults: bad straggle duration %q in %q", parts[3], s)
+		}
+		e.SkewPicos = d.Nanoseconds() * 1000
+	}
+	return e, nil
+}

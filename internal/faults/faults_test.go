@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/trace"
+)
+
+func TestScheduleFiresOncePerSite(t *testing.T) {
+	s := NewSchedule(4,
+		Event{Rank: 1, Phase: trace.FindSplitI, Level: 2, Kind: Crash},
+		Event{Rank: 1, Phase: trace.FindSplitI, Level: 2, Nth: 1, Kind: Drop},
+	)
+	site := comm.Site{Rank: 1, Phase: trace.FindSplitI, Level: 2, Op: comm.OpCollective}
+	if act := s.Act(site); !act.Crash || act.Drop {
+		t.Fatalf("first op: got %+v, want crash only", act)
+	}
+	if act := s.Act(site); act.Crash || !act.Drop {
+		t.Fatalf("second op: got %+v, want drop only", act)
+	}
+	if act := s.Act(site); act.Crash || act.Drop || act.Corrupt || act.SkewPicos != 0 {
+		t.Fatalf("third op: got %+v, want nothing", act)
+	}
+	if got := s.Fired(); got != 2 {
+		t.Fatalf("Fired() = %d, want 2", got)
+	}
+}
+
+func TestScheduleIgnoresOtherSites(t *testing.T) {
+	s := NewSchedule(4, Event{Rank: 1, Phase: trace.Sort, Level: 0, Kind: Crash})
+	for _, site := range []comm.Site{
+		{Rank: 0, Phase: trace.Sort, Level: 0},
+		{Rank: 1, Phase: trace.FindSplitI, Level: 0},
+		{Rank: 1, Phase: trace.Sort, Level: 1},
+		{Rank: -1, Phase: trace.Sort, Level: 0},
+		{Rank: 9, Phase: trace.Sort, Level: 0},
+	} {
+		if act := s.Act(site); act.Crash {
+			t.Fatalf("site %+v fired a crash scheduled elsewhere", site)
+		}
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", s.Fired())
+	}
+}
+
+func TestScheduleSkewAccumulates(t *testing.T) {
+	s := NewSchedule(2,
+		Event{Rank: 0, Phase: trace.Other, Level: 0, Kind: Straggle, SkewPicos: 5},
+		Event{Rank: 0, Phase: trace.Other, Level: 0, Kind: Straggle, SkewPicos: 7},
+	)
+	act := s.Act(comm.Site{Rank: 0, Phase: trace.Other, Level: 0})
+	if act.SkewPicos != 12 {
+		t.Fatalf("SkewPicos = %d, want 12", act.SkewPicos)
+	}
+}
+
+func TestParseEvents(t *testing.T) {
+	s, err := Parse("crash@FindSplitI:1:2, straggle@PerformSplitII:0:1:5ms, drop@Sort:0:0#3", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Events()
+	if len(ev) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(ev))
+	}
+	if ev[0] != (Event{Rank: 2, Phase: trace.FindSplitI, Level: 1, Kind: Crash}) {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].Kind != Straggle || ev[1].SkewPicos != 5_000_000_000 {
+		t.Fatalf("event 1 = %+v, want 5ms = 5e9 picos", ev[1])
+	}
+	if ev[2].Nth != 3 || ev[2].Kind != Drop {
+		t.Fatalf("event 2 = %+v", ev[2])
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"crash",
+		"crash@FindSplitI:1",
+		"crash@FindSplitI:1:9", // rank out of range for p=4
+		"crash@NoSuchPhase:1:0",
+		"melt@FindSplitI:1:0",
+		"crash@FindSplitI:-1:0",
+		"straggle@FindSplitI:1:0", // missing duration
+		"straggle@FindSplitI:1:0:0s",
+		"crash@FindSplitI:1:0#x",
+		"random:0",
+		"random:abc",
+		"random:3:melt",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 7, 4); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseRandomRequiresSeed(t *testing.T) {
+	if _, err := Parse("random:3", 0, 4); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("random spec without seed: err = %v, want seed complaint", err)
+	}
+	s, err := Parse("random:3:crash,drop", 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events()) != 3 {
+		t.Fatalf("random drew %d events, want 3", len(s.Events()))
+	}
+}
+
+func TestRandomDeterministicAndBounded(t *testing.T) {
+	a, b := Random(99, 5, 8, 4), Random(99, 5, 8, 4)
+	ea, eb := a.Events(), b.Events()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed, different event %d: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	crashes := make(map[int]int)
+	for _, e := range ea {
+		if e.Rank < 0 || e.Rank >= 5 || e.Level < 0 || e.Level > 4 {
+			t.Fatalf("event out of bounds: %+v", e)
+		}
+		if e.Kind == Crash {
+			crashes[e.Rank]++
+		}
+	}
+	for r, n := range crashes {
+		if n > 1 {
+			t.Fatalf("rank %d drawn %d crashes, want at most 1", r, n)
+		}
+	}
+	if len(crashes) >= 5 {
+		t.Fatal("random schedule would crash every rank")
+	}
+}
+
+func TestRecoverable(t *testing.T) {
+	if !NewSchedule(2, Event{Kind: Crash}, Event{Kind: Drop}, Event{Kind: Straggle}).Recoverable() {
+		t.Fatal("crash/drop/straggle schedule reported unrecoverable")
+	}
+	if NewSchedule(2, Event{Kind: Corrupt}).Recoverable() {
+		t.Fatal("corrupt schedule reported recoverable")
+	}
+}
+
+// FuzzParse: no spec may panic the parser, and an accepted spec must
+// round-trip through the injector without out-of-range behavior.
+func FuzzParse(f *testing.F) {
+	f.Add("crash@FindSplitI:1:2", int64(1), 4)
+	f.Add("straggle@PerformSplitII:0:1:5ms,drop@Sort:0:0", int64(2), 3)
+	f.Add("random:4:crash,straggle", int64(9), 8)
+	f.Add("corrupt@Other:0:0#2", int64(0), 2)
+	f.Fuzz(func(t *testing.T, spec string, seed int64, p int) {
+		if p < 1 || p > 64 {
+			return
+		}
+		s, err := Parse(spec, seed, p)
+		if err != nil {
+			return
+		}
+		for _, e := range s.Events() {
+			if e.Rank < 0 || e.Rank >= p {
+				t.Fatalf("accepted event with rank %d out of [0,%d): %+v", e.Rank, p, e)
+			}
+			if e.Level < 0 || e.Nth < 0 {
+				t.Fatalf("accepted negative level/nth: %+v", e)
+			}
+			if e.Kind == Straggle && e.SkewPicos <= 0 {
+				t.Fatalf("accepted straggle without positive skew: %+v", e)
+			}
+		}
+		// Drive the schedule; must never panic whatever the site stream.
+		for r := -1; r <= p; r++ {
+			for lvl := 0; lvl < 3; lvl++ {
+				s.Act(comm.Site{Rank: r, Phase: trace.FindSplitI, Level: lvl})
+			}
+		}
+	})
+}

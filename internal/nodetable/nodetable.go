@@ -153,8 +153,20 @@ func (t *Table) Update(assignments []Assignment) {
 		}
 		recvBytes := int64(recvCount) * int64(wireUpdateSize)
 		t.c.Mem().Alloc(recvBytes)
-		for _, part := range recv {
+		for src, part := range recv {
 			for _, u := range part {
+				// The Loc arrived over the wire; a corrupted or mis-hashed
+				// index is a data fault at the comm boundary, not a
+				// programmer error, so it surfaces as a typed error the
+				// recovery path can classify.
+				if u.Loc < 0 || int(u.Loc) >= len(t.child) {
+					panic(&comm.ProtocolError{
+						Op:   "NodeTable.Update",
+						Rank: t.c.Phys(),
+						Detail: fmt.Sprintf("update from rank %d names slot %d, slab holds [0,%d)",
+							src, u.Loc, len(t.child)),
+					})
+				}
 				t.child[u.Loc] = u.Child
 			}
 		}
@@ -215,6 +227,16 @@ func (t *Table) Lookup(rids []int32) []uint8 {
 		out := valBuf[len(valBuf) : len(valBuf)+len(idxs)]
 		valBuf = valBuf[:len(valBuf)+len(idxs)]
 		for i, loc := range idxs {
+			// Enquiry indices also crossed the wire: reject out-of-slab
+			// reads as a typed data fault rather than an index panic.
+			if loc < 0 || int(loc) >= len(t.child) {
+				panic(&comm.ProtocolError{
+					Op:   "NodeTable.Lookup",
+					Rank: t.c.Phys(),
+					Detail: fmt.Sprintf("enquiry from rank %d names slot %d, slab holds [0,%d)",
+						src, loc, len(t.child)),
+				})
+			}
 			out[i] = t.child[loc]
 		}
 		vals[src] = out

@@ -369,3 +369,39 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// mustProtocolError runs f on a 1-rank world and asserts it panics with a
+// typed *comm.ProtocolError whose Op matches. A single rank keeps the
+// corrupt-index panic from stranding peers mid-collective.
+func mustProtocolError(t *testing.T, wantOp string, f func(nt *Table)) {
+	t.Helper()
+	w := comm.NewWorld(1, timing.T3D())
+	w.Run(func(c *comm.Comm) {
+		nt := New(c, 5)
+		defer func() {
+			pe, ok := recover().(*comm.ProtocolError)
+			if !ok {
+				t.Errorf("%s: want *comm.ProtocolError panic, got %v", wantOp, pe)
+				return
+			}
+			if pe.Op != wantOp {
+				t.Errorf("Op = %q, want %q", pe.Op, wantOp)
+			}
+		}()
+		f(nt)
+	})
+}
+
+// A corrupted record id that still hashes to a valid owner but names a slot
+// outside the slab must surface as a typed data fault, not a slice panic.
+func TestUpdateCorruptIndexIsProtocolError(t *testing.T) {
+	mustProtocolError(t, "NodeTable.Update", func(nt *Table) {
+		nt.Update([]Assignment{{Rid: -1, Child: 1}})
+	})
+}
+
+func TestLookupCorruptIndexIsProtocolError(t *testing.T) {
+	mustProtocolError(t, "NodeTable.Lookup", func(nt *Table) {
+		nt.Lookup([]int32{-1})
+	})
+}

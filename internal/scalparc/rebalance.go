@@ -89,11 +89,39 @@ func rebalanceAttr[E any](c *comm.Comm, list []E, segs []seg, byRank [][]int64) 
 	}
 	recv := comm.AllToAll(c, send)
 
-	// Reassemble: my share of node i is BlockRange(totals[i], p, me);
-	// within it, source ranks contribute their overlaps in rank order
-	// (which is global order). Each source's buffer is itself ordered by
-	// (node, position), so per-source cursors suffice.
+	// Reassemble: each source's buffer holds only my entries, ordered by
+	// (node, position), so per-source cursors suffice and the in-chunk
+	// offset reassembleBlocked reports is ignored.
 	cursors := make([]int, p)
+	return reassembleBlocked(me, p, byRank, func(r, _, _, n int) []E {
+		out := recv[r][cursors[r] : cursors[r]+n]
+		cursors[r] += n
+		return out
+	})
+}
+
+// reassembleBlocked builds this rank's block share of every node's global
+// list from per-source fragments: my share of node i is
+// BlockRange(totals[i], p, me), and within it sources contribute their
+// overlaps in source order (which is global order, sources holding
+// contiguous chunks). byRank[r][i] is source r's entry count for node i;
+// take(r, node, srcOff, n) returns n consecutive entries of node's chunk on
+// source r starting at offset srcOff within that chunk. The source count
+// (len(byRank)) need not equal the consumer count p — checkpoint recovery
+// reassembles a p'-survivor distribution from the fragments of the p ranks
+// that wrote them. Returns the new backing, one segment per node, and the
+// number of entries taken (for cost accounting).
+func reassembleBlocked[E any](me, p int, byRank [][]int64, take func(r, node, srcOff, n int) []E) ([]E, []seg, int) {
+	nNodes := 0
+	if len(byRank) > 0 {
+		nNodes = len(byRank[0])
+	}
+	totals := make([]int64, nNodes)
+	for _, row := range byRank {
+		for i, v := range row {
+			totals[i] += v
+		}
+	}
 	var newList []E
 	newSegs := make([]seg, nNodes)
 	moved := 0
@@ -101,7 +129,7 @@ func rebalanceAttr[E any](c *comm.Comm, list []E, segs []seg, byRank [][]int64) 
 		lo, hi := dataset.BlockRange(int(totals[i]), p, me)
 		start := len(newList)
 		srcPrefix := int64(0)
-		for r := 0; r < p; r++ {
+		for r := range byRank {
 			srcLo, srcHi := srcPrefix, srcPrefix+byRank[r][i]
 			srcPrefix = srcHi
 			ovLo, ovHi := max64(srcLo, int64(lo)), min64(srcHi, int64(hi))
@@ -109,8 +137,7 @@ func rebalanceAttr[E any](c *comm.Comm, list []E, segs []seg, byRank [][]int64) 
 				continue
 			}
 			n := int(ovHi - ovLo)
-			newList = append(newList, recv[r][cursors[r]:cursors[r]+n]...)
-			cursors[r] += n
+			newList = append(newList, take(r, i, int(ovLo-srcLo), n)...)
 			moved += n
 		}
 		newSegs[i] = seg{off: start, n: len(newList) - start}

@@ -31,6 +31,7 @@
 package scalparc
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -100,6 +101,13 @@ type Result struct {
 	// every picosecond of modeled time and every byte of communication
 	// went. Per-rank bucket times sum exactly to that rank's final clock.
 	Trace *trace.Trace
+	// Recoveries counts the recovery rounds the run survived (each round
+	// is one world shrink plus a replay from the last checkpoint).
+	Recoveries int
+	// FinalRanks is the number of ranks still alive at the end; Lost
+	// lists the physical ranks that failed, in ascending order.
+	FinalRanks int
+	Lost       []int
 }
 
 // SplitStrategy selects how FindSplit locates candidate split points.
@@ -180,6 +188,23 @@ type Options struct {
 	// Bins caps the per-attribute quantile bin count for SplitBinned; zero
 	// selects DefaultBins. Setting it with SplitExact is an error.
 	Bins int
+
+	// Faults installs a fault injector on the world for the duration of
+	// the run (nil: no injection). Fail-stop crashes are survived: the
+	// remaining ranks detect the failure, shrink the world, and replay
+	// from the last checkpoint (or from scratch when checkpointing is
+	// off), producing the same tree as the fault-free run. Injected
+	// collective corruption is a deterministic protocol violation and
+	// surfaces as a *comm.ProtocolError instead.
+	Faults comm.FaultInjector
+	// CheckpointEvery saves a level-boundary checkpoint after every k-th
+	// completed level (0: no checkpointing; recovery then replays the
+	// whole induction). Negative is an error.
+	CheckpointEvery int
+	// CheckpointDir additionally persists every promoted checkpoint to
+	// this directory, atomically. Implies CheckpointEvery=1 when that is
+	// unset. The directory must exist and be writable.
+	CheckpointDir string
 }
 
 // Train runs ScalParC on the world's processors and returns the tree with
@@ -228,28 +253,92 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	if tab.NumRows() == 0 {
 		return nil, fmt.Errorf("scalparc: empty training set")
 	}
+	if opts.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("scalparc: CheckpointEvery %d is negative", opts.CheckpointEvery)
+	}
+	if opts.CheckpointDir != "" && opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 1
+	}
+	var store *CheckpointStore
+	if opts.CheckpointEvery > 0 {
+		var err error
+		if store, err = NewCheckpointStore(opts.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Faults != nil {
+		w.SetFaultInjector(opts.Faults)
+		defer w.SetFaultInjector(nil)
+	}
 
 	w.ResetClocks()
 	w.ResetStats()
 	w.ResetMemory()
 
+	// All result slices are indexed by physical rank: dense rank ids are
+	// renumbered when the world shrinks after a crash, physical ids never
+	// move. Ranks that crash leave their slots zero.
 	res := &Result{}
-	trees := make([]*tree.Tree, w.Size())
-	levels := make([]int, w.Size())
-	presort := make([]float64, w.Size())
-	perLevel := make([][]LevelStats, w.Size())
+	p := w.Size()
+	trees := make([]*tree.Tree, p)
+	levels := make([]int, p)
+	presort := make([]float64, p)
+	perLevel := make([][]LevelStats, p)
+	errs := make([]error, p)
+	recoveries := make([]int, p)
 	start := time.Now()
 	w.Run(func(c *comm.Comm) {
-		wk := newWorker(c, tab, cfg, factory, opts)
-		presort[c.Rank()] = c.Clock()
-		trees[c.Rank()], levels[c.Rank()] = wk.induce()
-		perLevel[c.Rank()] = wk.levelStats
-		wk.free()
+		phys := c.Phys()
+		restarted := false
+		for {
+			err := trainAttempt(c, tab, cfg, factory, opts, store, restarted,
+				trees, levels, presort, perLevel)
+			if err == nil {
+				return
+			}
+			var rf *comm.RankFailure
+			if errors.As(err, &rf) && rf.Recoverable() {
+				// A peer fail-stopped: shrink the world with the other
+				// survivors and replay from the last checkpoint.
+				c.Shrink()
+				recoveries[phys]++
+				restarted = true
+				continue
+			}
+			errs[phys] = err
+			return
+		}
 	})
 	res.WallSeconds = time.Since(start).Seconds()
-	res.Tree = trees[0]
-	res.Levels = levels[0]
-	res.PerLevel = perLevel[0]
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if store != nil {
+		if err := store.Err(); err != nil {
+			return nil, err
+		}
+	}
+	// Dense rank 0 may have crashed; any survivor's tree is the tree.
+	for phys := range trees {
+		if trees[phys] != nil {
+			res.Tree = trees[phys]
+			res.Levels = levels[phys]
+			res.PerLevel = perLevel[phys]
+			break
+		}
+	}
+	if res.Tree == nil {
+		return nil, fmt.Errorf("scalparc: no surviving rank produced a tree")
+	}
+	for _, r := range recoveries {
+		if r > res.Recoveries {
+			res.Recoveries = r
+		}
+	}
+	res.FinalRanks = w.LiveRanks()
+	res.Lost = w.Lost()
 	res.ModeledSeconds = w.MaxClock()
 	for _, t := range presort {
 		if t > res.PresortModeledSeconds {
@@ -260,6 +349,56 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	res.Stats = w.Stats()
 	res.Trace = w.Trace()
 	return res, nil
+}
+
+// trainAttempt runs one rank's induction attempt end to end, converting the
+// comm layer's failure panics into errors the retry loop above can act on.
+// Fail-stop unwinds of this rank itself (comm.Crashed) re-panic: the world's
+// runner absorbs them, modeling a rank that is simply gone.
+func trainAttempt(c *comm.Comm, tab *dataset.Table, cfg splitter.Config,
+	factory RecordMapFactory, opts Options, store *CheckpointStore, restarted bool,
+	trees []*tree.Tree, levels []int, presort []float64, perLevel [][]LevelStats) (err error) {
+	defer func() {
+		switch e := recover().(type) {
+		case nil:
+		case *comm.RankFailure:
+			err = e
+		case *comm.ProtocolError:
+			err = e
+		default:
+			panic(e)
+		}
+	}()
+	phys := c.Phys()
+	var wk *worker
+	if restarted && store != nil {
+		if ck := store.Latest(); ck != nil {
+			if wk, err = restoreWorker(c, tab.Schema, cfg, factory, opts, ck); err != nil {
+				return err
+			}
+		}
+	}
+	if wk == nil {
+		// First attempt, or no checkpoint to resume from: (re)build from
+		// the input. The induced tree is invariant under the processor
+		// count, so a full replay on the survivors converges to the same
+		// tree a checkpointed resume does.
+		wk = newWorker(c, tab, cfg, factory, opts)
+		if !restarted {
+			presort[phys] = c.Clock()
+		}
+	}
+	wk.ckpt, wk.ckptEvery = store, opts.CheckpointEvery
+	t, l := wk.induce()
+	// Final consistency point: after this barrier no rank can fail (there
+	// are no operations left), so either every survivor records a result
+	// or every survivor unwinds into another recovery round together.
+	c.SetPhase(trace.Other, wk.level)
+	c.Barrier()
+	trees[phys], levels[phys] = t, l
+	perLevel[phys] = wk.levelStats
+	wk.free()
+	return nil
 }
 
 // seg is one active node's slice of an attribute list's local backing.
@@ -280,6 +419,13 @@ type worker struct {
 	n      int // global record count
 
 	rm RecordMap
+
+	// root is the tree under construction (replicated on every rank).
+	root *tree.Node
+
+	// Level-boundary checkpointing (nil ckpt: off). See checkpoint.go.
+	ckpt      *CheckpointStore
+	ckptEvery int
 
 	// Attribute lists: cont[a] / cat[a] hold the local fragments of every
 	// active node's list for attribute a, concatenated in node order;
@@ -367,8 +513,8 @@ func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory Re
 		localHist[cl]++
 	}
 	hist := comm.AllReduceSum(c, localHist)
-	root := &tree.Node{Hist: hist}
-	wk.active = []*nodeState{{node: root, hist: hist, depth: 0}}
+	wk.root = &tree.Node{Hist: hist}
+	wk.active = []*nodeState{{node: wk.root, hist: hist, depth: 0}}
 	return wk
 }
 
@@ -389,15 +535,13 @@ func (wk *worker) listsBytes() int64 {
 }
 
 // induce runs the level loop and returns the finished tree and the number
-// of levels processed.
+// of levels processed (counted from the start of the run, so a worker
+// restored from a level-k checkpoint still reports the full level count).
 func (wk *worker) induce() (*tree.Tree, int) {
-	root := wk.active[0].node
-	levels := 0
 	for len(wk.active) > 0 {
-		levels++
 		wk.runLevel()
 	}
-	return &tree.Tree{Schema: wk.schema, Root: root}, levels
+	return &tree.Tree{Schema: wk.schema, Root: wk.root}, len(wk.levelStats)
 }
 
 // free releases the worker's tracked memory.
@@ -477,6 +621,11 @@ func (wk *worker) runLevel() {
 	}
 	stats.ModeledSeconds = wk.c.Clock() - levelStart
 	wk.levelStats = append(wk.levelStats, stats)
+
+	if wk.ckpt != nil && wk.ckptEvery > 0 && len(wk.active) > 0 &&
+		len(wk.levelStats)%wk.ckptEvery == 0 {
+		wk.saveCheckpoint()
+	}
 }
 
 // shouldTrySplit applies the pre-candidate termination criteria in the

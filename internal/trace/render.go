@@ -54,6 +54,17 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 				Args: map[string]any{"level": s.Level},
 			})
 		}
+		for _, e := range rt.Events() {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: e.Name,
+				Cat:  "fault",
+				Ph:   "i",
+				Ts:   float64(e.Picos) / 1e6,
+				Pid:  0,
+				Tid:  r,
+				Args: map[string]any{"s": "t"}, // instant scope: thread
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)

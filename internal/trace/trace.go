@@ -95,6 +95,14 @@ type Span struct {
 	StartPicos, EndPicos int64
 }
 
+// Event is a named instant on a rank's virtual timeline — faults,
+// retries, failure detections, recovery shrinks, checkpoints. Rendered as
+// Chrome instant ("i") events.
+type Event struct {
+	Name  string
+	Picos int64
+}
+
 // RankTrace is one rank's accounting. Methods are called only from the
 // owning rank's goroutine; no locking.
 type RankTrace struct {
@@ -104,6 +112,7 @@ type RankTrace struct {
 	buckets   []Bucket // first-touch (chronological) order
 	spans     []Span
 	spanStart int64
+	events    []Event
 }
 
 // NewRank returns an empty trace positioned at (Other, 0).
@@ -165,6 +174,18 @@ func (t *RankTrace) AddComm(sent, recv int64) {
 	b.Ops++
 }
 
+// AddEvent records a named instant event at the given clock.
+func (t *RankTrace) AddEvent(name string, now int64) {
+	t.events = append(t.events, Event{Name: name, Picos: now})
+}
+
+// Events returns the rank's instant events in chronological order.
+func (t *RankTrace) Events() []Event {
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
 // Finish closes the open timeline span at the rank's final clock. Call
 // once, after the last operation.
 func (t *RankTrace) Finish(now int64) { t.closeSpan(now) }
@@ -178,6 +199,7 @@ func (t *RankTrace) ResetTimes() {
 	}
 	t.spans = nil
 	t.spanStart = 0
+	t.events = nil
 }
 
 // ResetComm zeroes the byte and operation counters, keeping times.
@@ -234,6 +256,7 @@ func (t *RankTrace) Clone() *RankTrace {
 		buckets:   append([]Bucket(nil), t.buckets...),
 		spans:     append([]Span(nil), t.spans...),
 		spanStart: t.spanStart,
+		events:    append([]Event(nil), t.events...),
 	}
 	for k, v := range t.idx {
 		c.idx[k] = v
