@@ -17,12 +17,13 @@ test:
 
 # One testing.B benchmark per experiment in DESIGN.md's index (repo
 # root), plus the per-package micro-benchmarks (e.g. internal/comm),
-# then regenerate the BENCH_*.json perf trajectory (EXP-HOTPATH):
-# `benchrunner -exp hotpath` appends one labeled run per invocation.
+# then regenerate the BENCH_*.json perf trajectories (EXP-HOTPATH and
+# EXP-PREDICT): each `benchrunner -exp <name>` appends one labeled run.
 BENCHLABEL ?=
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchrunner -exp hotpath -benchlabel "$(BENCHLABEL)"
+	$(GO) run ./cmd/benchrunner -exp predict -benchlabel "$(BENCHLABEL)"
 
 # Race-detect the packages with real goroutine concurrency: the simulated
 # machine (one goroutine per rank) and the engine driving it.
@@ -40,20 +41,23 @@ chaos:
 		./internal/faults ./internal/comm ./internal/scalparc \
 		./internal/nodetable ./internal/extmem ./classify ./cmd/scalparc
 
-# Short fuzzing passes over the CSV reader and the gini scan kernel (CI
-# runs the same smokes).
+# Short fuzzing passes over the CSV reader, the gini scan kernel, and the
+# compiled-vs-walker prediction differential (CI runs the same smokes).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dataset
 	$(GO) test -fuzz=FuzzSplitScan -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gini
+	$(GO) test -fuzz=FuzzPredict -fuzztime=$(FUZZTIME) -run='^$$' ./internal/infer
 
-# Benchmark-regression guards, both CI steps; exit non-zero on regression:
-# GUARD-BINNED (binned reduce-scatter FindSplitI invariants) and
-# GUARD-HOTPATH (gini kernel ratio + allocation discipline vs the
-# checked-in BENCH_*.json trajectory) — see EXPERIMENTS.md.
+# Benchmark-regression guards, all CI steps; exit non-zero on regression:
+# GUARD-BINNED (binned reduce-scatter FindSplitI invariants), GUARD-HOTPATH
+# (gini kernel ratio + allocation discipline vs the checked-in BENCH_*.json
+# trajectory), and GUARD-PREDICT (compiled batch inference >= 4x the frozen
+# pre-engine walk with bit-identical labels) — see EXPERIMENTS.md.
 guard:
 	$(GO) run ./cmd/benchrunner -exp binnedguard
 	$(GO) run ./cmd/benchrunner -exp hotpathguard
+	$(GO) run ./cmd/benchrunner -exp predictguard
 
 cover:
 	$(GO) test -cover ./...

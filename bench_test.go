@@ -219,6 +219,25 @@ func BenchmarkGiniScanNaive(b *testing.B) {
 	bench.BenchGiniScanNaive(b, bench.ScanEntries)
 }
 
+// BenchmarkPredict is EXP-PREDICT's headline figure: the compiled batch
+// engine classifying the 1M-row fixture table; the BENCH_predict.json
+// trajectory records this benchmark's figures (see internal/bench.Predict).
+func BenchmarkPredict(b *testing.B) {
+	bench.BenchPredictCompiled(b, bench.PredictRows)
+}
+
+// BenchmarkPredictWalk is the hoisted pointer walker — the engine's
+// differential oracle — on the same fixture.
+func BenchmarkPredictWalk(b *testing.B) {
+	bench.BenchPredictWalk(b, bench.PredictRows)
+}
+
+// BenchmarkPredictNaive is the frozen pre-engine PredictTable body; the
+// ratio to BenchmarkPredict is the speedup GUARD-PREDICT pins.
+func BenchmarkPredictNaive(b *testing.B) {
+	bench.BenchPredictNaive(b, bench.PredictRows)
+}
+
 // BenchmarkNodeTable is MICRO: distributed node-table update + enquiry.
 func BenchmarkNodeTable(b *testing.B) {
 	bench.BenchNodeTable(b, 100_000, 8)

@@ -3,6 +3,10 @@ package classify
 import "fmt"
 
 // ClassMetrics holds per-class quality measures.
+//
+// Degenerate folds are well-defined: a class absent from the evaluated
+// table (Support 0) or never predicted has Precision, Recall, and F1 of
+// exactly 0 — never NaN — so fold averages stay finite.
 type ClassMetrics struct {
 	Class     string
 	Precision float64
@@ -22,7 +26,8 @@ type Evaluation struct {
 }
 
 // Evaluate classifies every record of the table and compares against its
-// labels.
+// labels. Tables are classified through the compiled batch-inference
+// engine (internal/infer) via Tree.PredictTable.
 func Evaluate(t *Tree, tab *Table) (*Evaluation, error) {
 	if t == nil || tab == nil {
 		return nil, fmt.Errorf("classify: Evaluate needs a tree and a table")

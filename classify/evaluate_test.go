@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -86,6 +87,95 @@ func TestEvaluateConfusionConsistency(t *testing.T) {
 		if int64(c.Support) != hist[j] {
 			t.Fatalf("class %d support %d, histogram %d", j, c.Support, hist[j])
 		}
+	}
+}
+
+// TestEvaluateDegenerateFold is the regression test for empty-class
+// metrics: when a class is entirely absent from the evaluated split (the
+// shape a contiguous cross-validation fold produces on class-sorted data),
+// every per-class metric must be exactly 0 for it — never NaN or Inf.
+func TestEvaluateDegenerateFold(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 2, Records: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(tab, Config{Algorithm: Serial, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a test split holding only class-0 rows: class 1 is absent.
+	only := NewTable(tab.Schema, 64)
+	for r := 0; r < tab.NumRows() && only.NumRows() < 64; r++ {
+		if tab.Class[r] == 0 {
+			if err := only.AppendRow(tab.Row(r), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if only.NumRows() == 0 {
+		t.Fatal("fixture produced no class-0 rows")
+	}
+	ev, err := Evaluate(m.Tree, only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absent := ev.PerClass[1]
+	if absent.Support != 0 {
+		t.Fatalf("class 1 should be absent, support %d", absent.Support)
+	}
+	for _, v := range []float64{absent.Precision, absent.Recall, absent.F1} {
+		if v != 0 {
+			t.Fatalf("absent class metrics must be exactly 0, got %+v", absent)
+		}
+	}
+	for _, c := range ev.PerClass {
+		for _, v := range []float64{c.Precision, c.Recall, c.F1} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite metric in %+v", c)
+			}
+		}
+	}
+	if !strings.Contains(ev.String(), "recall 0.000") {
+		t.Fatalf("report should render the empty class:\n%s", ev)
+	}
+}
+
+// TestCrossValidateClassSortedData drives the same degeneracy end to end:
+// contiguous folds over class-sorted rows produce folds that miss a class
+// entirely, and every reported number must stay finite.
+func TestCrossValidateClassSortedData(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 2, Records: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := NewTable(tab.Schema, tab.NumRows())
+	for _, class := range []uint8{0, 1} {
+		for r := 0; r < tab.NumRows(); r++ {
+			if tab.Class[r] == class {
+				if err := sorted.AppendRow(tab.Row(r), int(class)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	cv, err := CrossValidate(sorted, Config{Algorithm: Serial, MaxDepth: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range cv.Folds {
+		if math.IsNaN(f.Evaluation.Accuracy) {
+			t.Fatalf("fold %d accuracy is NaN", f.Fold)
+		}
+		for _, c := range f.Evaluation.PerClass {
+			for _, v := range []float64{c.Precision, c.Recall, c.F1} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("fold %d class %s: non-finite metric %+v", f.Fold, c.Class, c)
+				}
+			}
+		}
+	}
+	if math.IsNaN(cv.MeanAccuracy) {
+		t.Fatal("mean accuracy is NaN")
 	}
 }
 

@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, predict, predictguard, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -198,8 +198,8 @@ func run(args []string, out io.Writer) error {
 		ran++
 	}
 
-	// hotpath appends to the checked-in BENCH_*.json trajectory files, so it
-	// only runs when asked for by name, never under -exp all.
+	// hotpath and predict append to the checked-in BENCH_*.json trajectory
+	// files, so they only run when asked for by name, never under -exp all.
 	if want["hotpath"] {
 		if err := bench.Hotpath(out, *benchDir, *benchLabel); err != nil {
 			return err
@@ -210,6 +210,22 @@ func run(args []string, out io.Writer) error {
 
 	if all || want["hotpathguard"] {
 		if err := bench.HotpathGuard(out, *benchDir); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if want["predict"] {
+		if err := bench.Predict(out, *benchDir, *benchLabel); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["predictguard"] {
+		if err := bench.PredictGuard(out, *benchDir); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

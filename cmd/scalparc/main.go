@@ -25,6 +25,7 @@ import (
 
 	"repro/classify"
 	"repro/internal/faults"
+	"repro/internal/infer"
 	"repro/internal/scalparc"
 )
 
@@ -95,6 +96,7 @@ func run(args []string, stdout io.Writer) error {
 	faultSeed := fs.Int64("fault-seed", 0, "seed for random: fault specs (required non-zero for them)")
 	ckptDir := fs.String("checkpoint", "", "persist level-boundary checkpoints to this directory (scalparc only)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint every k tree levels (0 = off, or 1 when -checkpoint is set)")
+	compileStats := fs.Bool("compile", false, "compile the tree for batch inference and print the flat-table stats")
 	dump := fs.Bool("dump", false, "print the induced tree")
 	importance := fs.Bool("importance", false, "print gini attribute importance")
 	jsonOut := fs.String("json-out", "", "write the tree as JSON to this file")
@@ -260,6 +262,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *prune {
 		fmt.Fprintf(stdout, "pruned %d internal nodes\n", mm.PrunedNodes)
+	}
+	if *compileStats {
+		m, err := infer.Compile(model.Tree)
+		if err != nil {
+			return err
+		}
+		st := m.Stats()
+		fmt.Fprintf(stdout, "compiled model: %d nodes (%d leaves), depth %d, %d subset words, %d bytes flat (%.1f B/node)\n",
+			st.Nodes, st.Leaves, st.Depth, st.SubsetWords, st.Bytes, float64(st.Bytes)/float64(st.Nodes))
 	}
 	if *phases || *traceOut != "" {
 		if mm.Trace == nil {

@@ -362,3 +362,17 @@ func TestRunFaultyTreeMatchesCleanTree(t *testing.T) {
 			clean.String(), faulty.String())
 	}
 }
+
+func TestRunCompileStats(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "2", "-records", "2000", "-algo", "serial", "-compile",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "compiled model:") || !strings.Contains(s, "bytes flat") {
+		t.Fatalf("output missing compiled-model stats:\n%s", s)
+	}
+}

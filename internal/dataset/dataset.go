@@ -217,6 +217,18 @@ func (t *Table) ContValue(a, row int) float64 { return t.cont[a][row] }
 // record row.
 func (t *Table) CatValue(a, row int) int32 { return t.cat[a][row] }
 
+// ContColumn returns the backing column of continuous attribute a (nil for
+// a categorical attribute). The slice is the table's own storage: callers
+// must treat it as read-only. Hoisting columns once per table is the fast
+// path for whole-table scans — Value re-checks the attribute kind on every
+// single cell.
+func (t *Table) ContColumn(a int) []float64 { return t.cont[a] }
+
+// CatColumn returns the backing column of categorical attribute a (nil for
+// a continuous attribute), holding domain value indices. Read-only, like
+// ContColumn.
+func (t *Table) CatColumn(a int) []int32 { return t.cat[a] }
+
 // Value returns the value of attribute a for record row as a float64
 // (categorical values are returned as their domain index).
 func (t *Table) Value(a, row int) float64 {

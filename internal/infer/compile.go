@@ -1,0 +1,107 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/tree"
+)
+
+// Compile flattens a tree into the flat-table Model. Nodes are numbered
+// breadth-first with the root at 0 and every node's children contiguous,
+// so a level-by-level batch walk sweeps the table forward. The
+// majority-branch fallback child is resolved here, once, with the same
+// rule the pointer walker applies per lookup (Node.MajorityChild).
+func Compile(t *tree.Tree) (*Model, error) {
+	if t == nil || t.Root == nil || t.Schema == nil {
+		return nil, fmt.Errorf("infer: cannot compile a nil tree")
+	}
+	n := t.NumNodes()
+	if n > math.MaxInt32>>2 {
+		return nil, fmt.Errorf("infer: tree has %d nodes; the flat table indexes with int32", n)
+	}
+	m := &Model{
+		schema: t.Schema,
+		nodes:  make([]node, 0, n),
+		depth:  t.Depth(),
+	}
+
+	// Standard BFS emission: popping node i appends its children at the
+	// current queue tail, which is exactly their flat index.
+	queue := []*tree.Node{t.Root}
+	for i := 0; i < len(queue); i++ {
+		nd := queue[i]
+		if nd == nil {
+			return nil, fmt.Errorf("infer: node %d is nil", i)
+		}
+		if nd.Leaf {
+			if nd.Label < 0 || nd.Label >= t.Schema.NumClasses() {
+				return nil, fmt.Errorf("infer: leaf %d label %d out of range [0,%d)", i, nd.Label, t.Schema.NumClasses())
+			}
+			m.nodes = append(m.nodes, node{
+				meta:  int32(nd.Label)<<2 | int32(nodeLeaf),
+				first: -1,
+				dflt:  -1,
+			})
+			m.leaves++
+			continue
+		}
+		if nd.Attr < 0 || nd.Attr >= t.Schema.NumAttrs() {
+			return nil, fmt.Errorf("infer: node %d split attribute %d out of range [0,%d)", i, nd.Attr, t.Schema.NumAttrs())
+		}
+		firstChild := int32(len(queue))
+		dflt := firstChild + int32(nd.MajorityChild())
+		switch {
+		case nd.Kind == dataset.Continuous:
+			if len(nd.Children) != 2 {
+				return nil, fmt.Errorf("infer: continuous node %d has %d children; want 2", i, len(nd.Children))
+			}
+			m.nodes = append(m.nodes, node{
+				aux:   math.Float64bits(nd.Threshold),
+				meta:  int32(nd.Attr)<<2 | int32(nodeCont),
+				first: firstChild,
+				dflt:  dflt,
+			})
+		case nd.Subset != nil:
+			if len(nd.Children) != 2 {
+				return nil, fmt.Errorf("infer: subset node %d has %d children; want 2", i, len(nd.Children))
+			}
+			off := len(m.subset)
+			words := (len(nd.Subset) + 63) / 64
+			for w := 0; w < words; w++ {
+				m.subset = append(m.subset, 0)
+			}
+			for v, in := range nd.Subset {
+				if in {
+					m.subset[off+v/64] |= 1 << (uint(v) & 63)
+				}
+			}
+			m.nodes = append(m.nodes, node{
+				aux:   uint64(off),
+				meta:  int32(nd.Attr)<<2 | int32(nodeSubset),
+				first: firstChild,
+				dflt:  dflt,
+				ncard: int32(len(nd.Subset)),
+			})
+		default:
+			if len(nd.Children) < 2 {
+				return nil, fmt.Errorf("infer: m-way node %d has %d children; want >= 2", i, len(nd.Children))
+			}
+			m.nodes = append(m.nodes, node{
+				meta:  int32(nd.Attr)<<2 | int32(nodeMway),
+				first: firstChild,
+				dflt:  dflt,
+				ncard: int32(len(nd.Children)),
+			})
+		}
+		queue = append(queue, nd.Children...)
+	}
+	return m, nil
+}
+
+// init registers the engine as tree.PredictTable's batch path, closing the
+// loop without an import cycle (this package imports tree).
+func init() {
+	tree.RegisterBatchCompiler(func(t *tree.Tree) (tree.BatchPredictor, error) { return Compile(t) })
+}

@@ -1,0 +1,173 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/tree"
+)
+
+// FuzzPredict is the differential fuzzer the compiled engine is gated on:
+// the fuzz bytes deterministically derive a schema, a tree over it, and a
+// stream of prediction rows — including NaN, ±Inf, negative, fractional,
+// and out-of-domain categorical codes — and the compiled engine must match
+// the pointer walker bit for bit on every row, via both the single-row and
+// the batched table path.
+func FuzzPredict(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("subset splits with NaN and out-of-domain codes everywhere"))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x7f, 0x80, 0x01, 0xfe, 0x40,
+		0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x55, 0xaa, 0x0f, 0xf0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := &fuzzReader{data: data}
+		schema := fuzzSchema(rd)
+		tr := &tree.Tree{Schema: schema, Root: fuzzNode(rd, schema, 0)}
+		m, err := Compile(tr)
+		if err != nil {
+			t.Fatalf("fuzz-built tree failed to compile: %v", err)
+		}
+
+		// Single-row differential over adversarial values.
+		row := make([]float64, schema.NumAttrs())
+		for i := 0; i < 64; i++ {
+			for a := range row {
+				row[a] = fuzzValue(rd, schema.Attrs[a])
+			}
+			want := tr.Predict(row)
+			if got := m.Predict(row); got != want {
+				t.Fatalf("row %v: compiled=%d walker=%d\ntree:\n%s", row, got, want, tr)
+			}
+		}
+
+		// Batched differential over valid table rows.
+		tab := dataset.NewTable(schema, 64)
+		for i := 0; i < 64; i++ {
+			for a := range row {
+				row[a] = fuzzTableValue(rd, schema.Attrs[a])
+			}
+			if err := tab.AppendRow(row, int(rd.next())%schema.NumClasses()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := make([]int, tab.NumRows())
+		tr.PredictTableWalk(tab, want)
+		got, err := m.PredictTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("table row %d (%v): compiled=%d walker=%d", r, tab.Row(r), got[r], want[r])
+			}
+		}
+	})
+}
+
+// fuzzReader doles out fuzz bytes; exhaustion yields zeros, which drive
+// every derivation toward its smallest case so the tree always terminates.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func fuzzSchema(rd *fuzzReader) *dataset.Schema {
+	nattrs := 1 + int(rd.next())%4
+	s := &dataset.Schema{Classes: make([]string, 2+int(rd.next())%3)}
+	for i := range s.Classes {
+		s.Classes[i] = string(rune('A' + i))
+	}
+	names := []string{"a0", "a1", "a2", "a3"}
+	for i := 0; i < nattrs; i++ {
+		if rd.next()%2 == 0 {
+			s.Attrs = append(s.Attrs, dataset.Attribute{Name: names[i], Kind: dataset.Continuous})
+		} else {
+			card := 2 + int(rd.next())%5
+			vals := make([]string, card)
+			for v := range vals {
+				vals[v] = string(rune('a' + v))
+			}
+			s.Attrs = append(s.Attrs, dataset.Attribute{Name: names[i], Kind: dataset.Categorical, Values: vals})
+		}
+	}
+	return s
+}
+
+// fuzzNode builds a random valid node; depth caps recursion at 5 levels.
+func fuzzNode(rd *fuzzReader, s *dataset.Schema, depth int) *tree.Node {
+	hist := make([]int64, s.NumClasses())
+	for i := range hist {
+		hist[i] = int64(rd.next() % 16)
+	}
+	if depth >= 5 || rd.next()%3 == 0 {
+		return &tree.Node{Leaf: true, Label: int(rd.next()) % s.NumClasses(), Hist: hist}
+	}
+	attr := int(rd.next()) % s.NumAttrs()
+	n := &tree.Node{Hist: hist, Attr: attr, Kind: s.Attrs[attr].Kind}
+	children := 2
+	if s.Attrs[attr].Kind == dataset.Categorical {
+		card := s.Attrs[attr].Cardinality()
+		if rd.next()%2 == 0 {
+			// Binary subset split; an arbitrary (possibly empty or full)
+			// member set is still a valid routing test.
+			n.Subset = make([]bool, card)
+			for v := range n.Subset {
+				n.Subset[v] = rd.next()%2 == 0
+			}
+		} else {
+			children = card // m-way
+		}
+	} else {
+		n.Threshold = float64(int(rd.next()))/16 - 4
+	}
+	for c := 0; c < children; c++ {
+		n.Children = append(n.Children, fuzzNode(rd, s, depth+1))
+	}
+	return n
+}
+
+// fuzzValue draws a prediction-row value, biased toward the adversarial
+// cases the fallback rule exists for.
+func fuzzValue(rd *fuzzReader, a dataset.Attribute) float64 {
+	switch rd.next() % 10 {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	case 3:
+		return -1 - float64(rd.next()%5)
+	case 4: // just past the categorical domain (or a large continuous value)
+		if a.Kind == dataset.Categorical {
+			return float64(a.Cardinality() + int(rd.next()%3))
+		}
+		return 1e18
+	case 5:
+		return float64(rd.next()) / 17 // fractional, possibly in-domain
+	default:
+		if a.Kind == dataset.Categorical {
+			return float64(int(rd.next()) % a.Cardinality())
+		}
+		return float64(int(rd.next()))/8 - 8
+	}
+}
+
+// fuzzTableValue draws a value AppendRow accepts: finite, and in-domain
+// for categorical attributes.
+func fuzzTableValue(rd *fuzzReader, a dataset.Attribute) float64 {
+	if a.Kind == dataset.Categorical {
+		return float64(int(rd.next()) % a.Cardinality())
+	}
+	return float64(int(rd.next()))/8 - 8
+}

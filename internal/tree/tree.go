@@ -31,6 +31,13 @@ type Node struct {
 	// Categorical binary subset (the paper's footnote-1 variant):
 	// records whose value v has Subset[v] true descend to Children[0],
 	// the rest to Children[1].
+	//
+	// Fallback rule: training guarantees in-domain finite values but
+	// prediction does not. A continuous NaN, or a categorical value
+	// outside [0, domain), descends to the majority branch — the child
+	// that received the most training records by Hist, ties broken to
+	// the lowest child index (see MajorityChild). The compiled engine in
+	// internal/infer implements the identical rule.
 	Attr      int          `json:"attr,omitempty"`
 	Kind      dataset.Kind `json:"kind,omitempty"`
 	Threshold float64      `json:"threshold,omitempty"`
@@ -55,42 +62,113 @@ func (t *Tree) Predict(row []float64) int {
 	return n.Label
 }
 
+// BatchPredictor classifies whole tables; the compiled engine in
+// internal/infer registers one here so PredictTable can route through it.
+type BatchPredictor interface {
+	PredictTableInto(tab *dataset.Table, out []int) error
+}
+
+// batchCompiler is set by internal/infer at init time (a one-way link:
+// infer imports tree, so tree cannot import the engine directly).
+var batchCompiler func(*Tree) (BatchPredictor, error)
+
+// RegisterBatchCompiler installs the compiled batch-inference engine that
+// PredictTable routes through. Intended for internal/infer's init.
+func RegisterBatchCompiler(f func(*Tree) (BatchPredictor, error)) { batchCompiler = f }
+
 // PredictTable classifies every row of a table and returns the labels.
+//
+// When the compiled engine is registered (any program importing
+// repro/classify or repro/internal/infer), the table is classified by the
+// flat batch predictor; otherwise by PredictTableWalk. Both produce
+// bit-identical labels — the walker is the oracle the engine is
+// differentially tested against.
 func (t *Tree) PredictTable(tab *dataset.Table) []int {
 	out := make([]int, tab.NumRows())
-	row := make([]float64, tab.Schema.NumAttrs())
-	for r := range out {
-		for a := range row {
-			row[a] = tab.Value(a, r)
+	if batchCompiler != nil {
+		if p, err := batchCompiler(t); err == nil {
+			if err := p.PredictTableInto(tab, out); err == nil {
+				return out
+			}
 		}
-		out[r] = t.Predict(row)
 	}
+	t.PredictTableWalk(tab, out)
 	return out
 }
 
-// childFor returns the child index a value descends to.
+// PredictTableWalk classifies every row with the reference pointer walker,
+// writing labels into out (which must have one slot per row). The column
+// accessors are hoisted once per table so the walk reads attribute columns
+// directly instead of re-gathering every row through Table.Value.
+func (t *Tree) PredictTableWalk(tab *dataset.Table, out []int) {
+	cont := make([][]float64, tab.Schema.NumAttrs())
+	cat := make([][]int32, tab.Schema.NumAttrs())
+	for a := range tab.Schema.Attrs {
+		if tab.Schema.Attrs[a].Kind == dataset.Continuous {
+			cont[a] = tab.ContColumn(a)
+		} else {
+			cat[a] = tab.CatColumn(a)
+		}
+	}
+	for r := range out {
+		n := t.Root
+		for !n.Leaf {
+			var v float64
+			if c := cont[n.Attr]; c != nil {
+				v = c[r]
+			} else {
+				v = float64(cat[n.Attr][r])
+			}
+			n = n.Children[n.childFor(v)]
+		}
+		out[r] = n.Label
+	}
+}
+
+// childFor returns the child index a value descends to, applying the
+// majority-branch fallback documented on Node for NaN and out-of-domain
+// categorical values.
 func (n *Node) childFor(v float64) int {
 	switch {
 	case n.Kind == dataset.Continuous:
+		if v != v { // NaN: the threshold test cannot route it
+			return n.MajorityChild()
+		}
 		if v <= n.Threshold {
 			return 0
 		}
 		return 1
 	case n.Subset != nil:
-		iv := int(v)
-		if iv >= 0 && iv < len(n.Subset) && n.Subset[iv] {
+		// The float comparison rejects NaN and values whose int
+		// conversion would be out of range (or undefined, e.g. ±Inf)
+		// before any conversion happens.
+		if !(v >= 0 && v < float64(len(n.Subset))) {
+			return n.MajorityChild()
+		}
+		if n.Subset[int(v)] {
 			return 0
 		}
 		return 1
 	default:
-		iv := int(v)
-		if iv < 0 || iv >= len(n.Children) {
-			// Unseen categorical value: fall back to the first child;
-			// training guarantees in-domain values, prediction may not.
-			return 0
+		if !(v >= 0 && v < float64(len(n.Children))) {
+			return n.MajorityChild()
 		}
-		return iv
+		return int(v)
 	}
+}
+
+// MajorityChild returns the index of the child that received the most
+// training records (the largest Hist sum), ties broken to the lowest
+// index — the deterministic fallback branch for values the split test
+// cannot route (see the rule on Node).
+func (n *Node) MajorityChild() int {
+	best, bestSize := 0, int64(-1)
+	for i, ch := range n.Children {
+		if s := ch.Size(); s > bestSize {
+			best, bestSize = i, s
+		}
+	}
+	return best
 }
 
 // NumNodes returns the total node count.

@@ -2,6 +2,8 @@ package tree
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -65,20 +67,50 @@ func TestPredictPaths(t *testing.T) {
 
 func TestPredictUnseenCategoricalValue(t *testing.T) {
 	tr := testTree()
-	// Value 7 is outside the trained domain; prediction must not panic.
-	_ = tr.Predict([]float64{99, 7})
+	// Value 7 is outside the trained m-way domain: it must descend to the
+	// majority branch — child 2 carries 3 of the 6 records (label B).
+	for _, v := range []float64{7, -1, 3.5e18, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if got := tr.Predict([]float64{99, v}); got != 1 {
+			t.Errorf("Predict(unseen elevel %v)=%d want majority branch label 1", v, got)
+		}
+	}
+}
+
+func TestPredictContinuousNaN(t *testing.T) {
+	tr := testTree()
+	// NaN salary cannot be routed by the threshold test; the majority
+	// branch is child 1 (6 of 10 records), then NaN elevel descends to
+	// that subtree's majority branch (child 2, label B).
+	if got := tr.Predict([]float64{math.NaN(), math.NaN()}); got != 1 {
+		t.Fatalf("Predict(NaN row)=%d want 1", got)
+	}
+}
+
+func TestMajorityChildDeterministic(t *testing.T) {
+	n := &Node{Children: []*Node{
+		{Hist: []int64{2, 2}},
+		{Hist: []int64{1, 3}},
+		{Hist: []int64{4, 0}},
+	}}
+	if got := n.MajorityChild(); got != 0 {
+		t.Fatalf("MajorityChild tie=%d want lowest index 0", got)
+	}
+	n.Children[1].Hist = []int64{9, 0}
+	if got := n.MajorityChild(); got != 1 {
+		t.Fatalf("MajorityChild=%d want 1", got)
+	}
 }
 
 func TestPredictSubsetSplit(t *testing.T) {
 	tr := &Tree{
 		Schema: testSchema(),
 		Root: &Node{
-			Hist: []int64{3, 3},
+			Hist: []int64{3, 4},
 			Attr: 1, Kind: dataset.Categorical,
 			Subset: []bool{true, false, true},
 			Children: []*Node{
 				{Leaf: true, Label: 0, Hist: []int64{3, 0}},
-				{Leaf: true, Label: 1, Hist: []int64{0, 3}},
+				{Leaf: true, Label: 1, Hist: []int64{0, 4}},
 			},
 		},
 	}
@@ -88,8 +120,12 @@ func TestPredictSubsetSplit(t *testing.T) {
 	if tr.Predict([]float64{0, 1}) != 1 {
 		t.Fatal("out-of-subset value must go right")
 	}
-	if tr.Predict([]float64{0, 9}) != 1 {
-		t.Fatal("unseen value must go right for subset splits")
+	// Unseen / unroutable values take the majority branch (child 1 here,
+	// 4 of 7 records), not the "not in subset" side by accident.
+	for _, v := range []float64{9, -2, math.NaN(), math.Inf(1)} {
+		if tr.Predict([]float64{0, v}) != 1 {
+			t.Fatalf("unseen subset value %v must take the majority branch", v)
+		}
 	}
 }
 
@@ -105,6 +141,27 @@ func TestPredictTable(t *testing.T) {
 	got := tr.PredictTable(tab)
 	if got[0] != 0 || got[1] != 1 {
 		t.Fatalf("PredictTable=%v", got)
+	}
+}
+
+// TestPredictTableWalkMatchesPredict pins the hoisted walker to the
+// row-at-a-time oracle on a random table.
+func TestPredictTableWalkMatchesPredict(t *testing.T) {
+	tr := testTree()
+	rng := rand.New(rand.NewSource(7))
+	tab := dataset.NewTable(tr.Schema, 500)
+	for i := 0; i < 500; i++ {
+		row := []float64{rng.Float64()*100 - 25, float64(rng.Intn(3))}
+		if err := tab.AppendRow(row, rng.Intn(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]int, tab.NumRows())
+	tr.PredictTableWalk(tab, out)
+	for r := 0; r < tab.NumRows(); r++ {
+		if want := tr.Predict(tab.Row(r)); out[r] != want {
+			t.Fatalf("row %d: walk=%d Predict=%d", r, out[r], want)
+		}
 	}
 }
 
