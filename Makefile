@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race fuzz guard chaos cover experiments examples clean
+.PHONY: all build vet test bench race fuzz guard chaos tcp cover experiments examples clean
 
 all: build vet test
 
@@ -40,6 +40,15 @@ chaos:
 		-run 'Fault|Crash|Checkpoint|Straggler|Corrupt|Recover|Schedule|Detection|Shrink|Truncat' \
 		./internal/faults ./internal/comm ./internal/scalparc \
 		./internal/nodetable ./internal/extmem ./classify ./cmd/scalparc
+	$(GO) test -count=1 -run 'Crash|Shrink' ./internal/comm/tcptransport
+
+# The TCP transport backend: unit tests, the sim-vs-tcp differential
+# (byte-identical trees and modeled runtimes at p in {2,4}), and the
+# real-process crash-recovery sweep. These spawn worker OS processes, so
+# they run without -race (the race detector covers the simulated side).
+tcp:
+	$(GO) test -count=1 ./internal/comm/tcptransport
+	$(GO) test -count=1 -run 'TestTCP' ./cmd/scalparc
 
 # Short fuzzing passes over the CSV reader, the gini scan kernel, and the
 # compiled-vs-walker prediction differential (CI runs the same smokes).

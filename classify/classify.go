@@ -254,39 +254,9 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 		m.Metrics.Processors = 1
 		m.Metrics.Levels = t.Depth() + 1
 	case ScalParC, SPRINT:
-		w := comm.NewWorld(p, cfg.machine())
-		var res *scalparc.Result
 		var err error
-		if cfg.Algorithm == ScalParC {
-			opts := scalparc.Options{
-				Split:           cfg.Split,
-				Bins:            cfg.Bins,
-				CheckpointEvery: cfg.CheckpointEvery,
-				CheckpointDir:   cfg.CheckpointDir,
-			}
-			if schedule != nil {
-				opts.Faults = schedule
-			}
-			res, err = scalparc.TrainOpts(w, tab, cfg.splitterConfig(), opts)
-		} else {
-			res, err = sprint.Train(w, tab, cfg.splitterConfig())
-		}
-		if err != nil {
+		if m, err = trainParallel(comm.NewWorld(p, cfg.machine()), tab, cfg, schedule); err != nil {
 			return nil, err
-		}
-		m.Tree = res.Tree
-		m.Metrics.Levels = res.Levels
-		m.Metrics.ModeledSeconds = res.ModeledSeconds
-		m.Metrics.PresortModeledSeconds = res.PresortModeledSeconds
-		m.Metrics.WallSeconds = res.WallSeconds
-		m.Metrics.PeakMemoryPerRank = res.PeakMemoryPerRank
-		m.Metrics.Trace = res.Trace
-		m.Metrics.Recoveries = res.Recoveries
-		m.Metrics.FinalRanks = res.FinalRanks
-		m.Metrics.Lost = res.Lost
-		for _, s := range res.Stats {
-			m.Metrics.BytesSent += s.BytesSent
-			m.Metrics.BytesRecv += s.BytesRecv
 		}
 	default:
 		return nil, fmt.Errorf("classify: unknown algorithm %v", cfg.Algorithm)
@@ -294,6 +264,81 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 
 	if cfg.Prune {
 		m.Metrics.PrunedNodes = m.Tree.Prune()
+	}
+	return m, nil
+}
+
+// TrainWorld trains on a caller-provided communication world instead of
+// constructing a simulated one — the entry point for rank-worker
+// processes driving a transport-backed World (cmd/scalparc
+// -transport=tcp). Only the parallel algorithms apply; cfg.Processors is
+// ignored (the world defines the machine size).
+func TrainWorld(w *comm.World, tab *Table, cfg Config) (*Model, error) {
+	if tab == nil {
+		return nil, fmt.Errorf("classify: nil table")
+	}
+	if cfg.Algorithm != ScalParC && cfg.Algorithm != SPRINT {
+		return nil, fmt.Errorf("classify: TrainWorld requires a parallel algorithm (got %v)", cfg.Algorithm)
+	}
+	if (cfg.Split != SplitExact || cfg.Bins != 0) && cfg.Algorithm != ScalParC {
+		return nil, fmt.Errorf("classify: binned split finding requires the ScalParC algorithm (got %v)", cfg.Algorithm)
+	}
+	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "") && cfg.Algorithm != ScalParC {
+		return nil, fmt.Errorf("classify: fault injection and checkpointing require the ScalParC algorithm (got %v)", cfg.Algorithm)
+	}
+	var schedule *faults.Schedule
+	if cfg.Faults != "" {
+		var err error
+		if schedule, err = faults.Parse(cfg.Faults, cfg.FaultSeed, w.Size()); err != nil {
+			return nil, err
+		}
+	}
+	m, err := trainParallel(w, tab, cfg, schedule)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Prune {
+		m.Metrics.PrunedNodes = m.Tree.Prune()
+	}
+	return m, nil
+}
+
+// trainParallel runs the ScalParC or SPRINT arm on the given world and
+// assembles the metrics both Train and TrainWorld report.
+func trainParallel(w *comm.World, tab *Table, cfg Config, schedule *faults.Schedule) (*Model, error) {
+	m := &Model{Metrics: Metrics{Algorithm: cfg.Algorithm, Processors: w.Size()}}
+	var res *scalparc.Result
+	var err error
+	if cfg.Algorithm == ScalParC {
+		opts := scalparc.Options{
+			Split:           cfg.Split,
+			Bins:            cfg.Bins,
+			CheckpointEvery: cfg.CheckpointEvery,
+			CheckpointDir:   cfg.CheckpointDir,
+		}
+		if schedule != nil {
+			opts.Faults = schedule
+		}
+		res, err = scalparc.TrainOpts(w, tab, cfg.splitterConfig(), opts)
+	} else {
+		res, err = sprint.Train(w, tab, cfg.splitterConfig())
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.Tree = res.Tree
+	m.Metrics.Levels = res.Levels
+	m.Metrics.ModeledSeconds = res.ModeledSeconds
+	m.Metrics.PresortModeledSeconds = res.PresortModeledSeconds
+	m.Metrics.WallSeconds = res.WallSeconds
+	m.Metrics.PeakMemoryPerRank = res.PeakMemoryPerRank
+	m.Metrics.Trace = res.Trace
+	m.Metrics.Recoveries = res.Recoveries
+	m.Metrics.FinalRanks = res.FinalRanks
+	m.Metrics.Lost = res.Lost
+	for _, s := range res.Stats {
+		m.Metrics.BytesSent += s.BytesSent
+		m.Metrics.BytesRecv += s.BytesRecv
 	}
 	return m, nil
 }

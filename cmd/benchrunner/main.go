@@ -19,9 +19,19 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/comm/tcptransport"
 )
 
 func main() {
+	// EXP-TCP re-executes this binary once per rank; a worker invocation
+	// runs its rank's share of the training and exits.
+	if tcptransport.IsWorker() {
+		if err := bench.TCPWorker(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
@@ -30,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, predict, predictguard, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, predict, predictguard, tcp, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -210,6 +220,16 @@ func run(args []string, out io.Writer) error {
 
 	if all || want["hotpathguard"] {
 		if err := bench.HotpathGuard(out, *benchDir); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	// tcp spawns real worker processes and appends to BENCH_tcp.json, so
+	// like hotpath it only runs when asked for by name.
+	if want["tcp"] {
+		if err := bench.TCP(out, *benchDir, *benchLabel); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro/classify"
+	"repro/internal/comm/tcptransport"
 	"repro/internal/faults"
 	"repro/internal/infer"
 	"repro/internal/scalparc"
@@ -83,8 +84,14 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if tcptransport.IsWorker() {
+		// Rank-worker re-execution: the coordinator owns stdout; worker
+		// chatter (data generation echoes etc.) is dropped.
+		stdout = io.Discard
+	}
 	fs := flag.NewFlagSet("scalparc", flag.ContinueOnError)
 	algo := fs.String("algo", "scalparc", "algorithm: scalparc, sprint, serial, or sliq")
+	transport := fs.String("transport", "sim", "communication backend: sim (in-process simulated machine) or tcp (one OS process per rank over localhost TCP)")
 	procs := fs.Int("procs", 4, "simulated processor count")
 	depth := fs.Int("depth", 0, "maximum tree depth (0 = unlimited)")
 	minSplit := fs.Int("minsplit", 2, "minimum node size to split")
@@ -143,6 +150,27 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *ckptEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", *ckptEvery)
+	}
+	switch *transport {
+	case "sim":
+		if tcptransport.IsWorker() {
+			return fmt.Errorf("worker environment set but -transport is sim")
+		}
+	case "tcp":
+		if algorithm != classify.ScalParC && algorithm != classify.SPRINT {
+			return fmt.Errorf("-transport=tcp requires a parallel algorithm (got %s)", *algo)
+		}
+		if *cvFolds > 0 {
+			return fmt.Errorf("-cv requires -transport=sim")
+		}
+		if *ckptDir != "" || *ckptEvery != 0 {
+			return fmt.Errorf("-transport=tcp recovers by full replay; checkpointing requires -transport=sim")
+		}
+		if *phases || *traceOut != "" {
+			return fmt.Errorf("phase traces are per-process and do not cross the wire; -phases and -trace require -transport=sim")
+		}
+	default:
+		return fmt.Errorf("unknown -transport %q (want sim or tcp)", *transport)
 	}
 	if *faultSpec != "" {
 		// Validate the spec (including the random-spec seed requirement)
@@ -236,7 +264,16 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	model, err := classify.Train(train, trainCfg)
+	var model *classify.Model
+	switch {
+	case *transport == "tcp" && tcptransport.IsWorker():
+		return trainTCPWorker(train, trainCfg)
+	case *transport == "tcp":
+		fmt.Fprintf(stdout, "tcp transport: %d rank processes over localhost\n", *procs)
+		model, err = trainTCPCoordinator(args, *procs, os.Stderr)
+	default:
+		model, err = classify.Train(train, trainCfg)
+	}
 	if err != nil {
 		return err
 	}

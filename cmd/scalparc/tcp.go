@@ -1,0 +1,139 @@
+package main
+
+// TCP transport mode: -transport=tcp runs each rank as a separate OS
+// process over localhost TCP instead of a goroutine on the simulated
+// machine. The coordinator (the process the user started) binds every
+// rank's listener, re-executes itself once per rank with the same
+// command line plus the worker environment, and waits; each worker
+// rebuilds the identical dataset from the shared flags, trains over the
+// wire, and the surviving dense-rank-0 worker publishes the tree and
+// metrics back through a result file.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/classify"
+	"repro/internal/comm"
+	"repro/internal/comm/tcptransport"
+)
+
+// tcpResult is what the surviving dense-rank-0 worker publishes for the
+// coordinator: the induced tree plus the run metrics, with comm and
+// memory stats pooled over every surviving rank.
+type tcpResult struct {
+	Tree    json.RawMessage  `json:"tree"`
+	Metrics classify.Metrics `json:"metrics"`
+}
+
+// trainTCPCoordinator spawns the rank workers and reassembles their
+// result into a Model, so the rest of run() treats a TCP run exactly
+// like a simulated one.
+func trainTCPCoordinator(args []string, procs int, workerOut io.Writer) (*classify.Model, error) {
+	job, err := tcptransport.Launch(procs, args, workerOut)
+	if err != nil {
+		return nil, err
+	}
+	data, err := job.Wait()
+	if err != nil {
+		return nil, err
+	}
+	var res tcpResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("decoding worker result: %w", err)
+	}
+	tree, err := classify.DecodeTree(bytes.NewReader(res.Tree))
+	if err != nil {
+		return nil, fmt.Errorf("decoding worker tree: %w", err)
+	}
+	return &classify.Model{Tree: tree, Metrics: res.Metrics}, nil
+}
+
+// trainTCPWorker is one rank's whole life: connect the mesh described by
+// the worker environment, train, and (if this process ends up as the
+// lowest surviving physical rank) publish the result. A rank killed by
+// fault injection exits cleanly — its death is the survivors' problem.
+func trainTCPWorker(train *classify.Table, cfg classify.Config) error {
+	tr, err := tcptransport.FromEnv()
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	mach := cfg.Machine
+	if mach == (classify.Machine{}) {
+		mach = classify.DefaultMachine()
+	}
+	w := comm.NewTransportWorld(tr, mach)
+	model, err := classify.TrainWorld(w, train, cfg)
+	if err != nil {
+		if !w.Live(tr.Rank()) {
+			return nil
+		}
+		return err
+	}
+	poolStats(w, &model.Metrics)
+	for phys := 0; phys < tr.Rank(); phys++ {
+		if w.Live(phys) {
+			return nil
+		}
+	}
+	// Per-process phase traces don't cross the wire; -phases and -trace
+	// are rejected up front for -transport=tcp.
+	model.Metrics.Trace = nil
+	var tree bytes.Buffer
+	if err := model.Tree.Encode(&tree); err != nil {
+		return err
+	}
+	data, err := json.Marshal(tcpResult{Tree: tree.Bytes(), Metrics: model.Metrics})
+	if err != nil {
+		return err
+	}
+	return tcptransport.WriteResult(data)
+}
+
+// poolStats runs one more SPMD section over the survivors to pool the
+// per-process communication and memory stats: a transport-backed world
+// only observes its own rank, so without this the published metrics
+// would cover 1/p of the machine.
+func poolStats(w *comm.World, m *classify.Metrics) {
+	w.SetFaultInjector(nil) // training is done; no more injected faults
+	var sent, recv int64
+	var peaks []int64
+	w.Run(func(c *comm.Comm) {
+		for {
+			ok := func() (ok bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						var rf *comm.RankFailure
+						if e, isErr := r.(error); isErr && errors.As(e, &rf) && rf.Recoverable() {
+							return
+						}
+						panic(r)
+					}
+				}()
+				st := c.Stats()
+				mine := []int64{st.BytesSent, st.BytesRecv, c.Mem().Peak()}
+				all := comm.AllgatherFlat(c, mine)
+				sent, recv, peaks = 0, 0, peaks[:0]
+				for i := 0; i+2 < len(all); i += 3 {
+					sent += all[i]
+					recv += all[i+1]
+					peaks = append(peaks, all[i+2])
+				}
+				return true
+			}()
+			if ok {
+				return
+			}
+			// A peer process died between training and the stats
+			// exchange: shrink with the other survivors and retry.
+			c.Shrink()
+		}
+	})
+	m.BytesSent, m.BytesRecv = sent, recv
+	m.PeakMemoryPerRank = peaks
+	m.FinalRanks = w.LiveRanks()
+}

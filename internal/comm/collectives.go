@@ -12,6 +12,71 @@ func sizeOf[T any]() int {
 	return int(unsafe.Sizeof(t))
 }
 
+// encodeSlice views a flat []T as its raw bytes — the wire encoding of
+// every payload that crosses a Transport. Zero-copy: the caller must not
+// mutate x until the transport call consuming the view returns (both
+// Transport.Send and Transport.Exchange hand the bytes off before
+// returning, so the collectives' existing buffer rules already cover
+// this).
+func encodeSlice[T any](x []T) []byte {
+	if len(x) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(x))), len(x)*sizeOf[T]())
+}
+
+// decodeSlice copies wire bytes back into a freshly allocated []T. A
+// payload that is not a whole number of elements is a data-boundary
+// fault between ranks, reported as a typed *ProtocolError like the
+// simulated machine's type-assertion failures.
+func decodeSlice[T any](b []byte, op string, phys int) []T {
+	es := sizeOf[T]()
+	if es == 0 {
+		panic(&ProtocolError{Op: op, Rank: phys, Detail: "zero-size element type on the wire"})
+	}
+	if len(b)%es != 0 {
+		panic(&ProtocolError{Op: op, Rank: phys,
+			Detail: fmt.Sprintf("payload of %d bytes is not a whole number of %d-byte elements", len(b), es)})
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]T, len(b)/es)
+	copy(encodeSlice(out), b)
+	return out
+}
+
+// exchangeSlices is the typed deposit/exchange primitive every
+// collective below is built on: deposit x, receive all ranks' deposits
+// in dense rank order. On the simulated machine deposits move by
+// reference; on a wire transport x is flat-encoded into a deposit frame.
+// Either way the fold/scan logic downstream is shared — the backends
+// differ only in how a deposit crosses rank boundaries.
+func exchangeSlices[T any](c *Comm, x []T) []deposit {
+	if c.w.tr == nil {
+		return c.exchange(x)
+	}
+	return c.exchangeFrames(TagDeposit, x, encodeSlice(x))
+}
+
+// depositSlice reads rank r's deposit as a []T: a direct reference on
+// the simulated machine (collective results may alias contribution
+// buffers), a private decoded copy when the deposit arrived over a wire
+// transport. Anything else is a cross-rank type mismatch.
+func depositSlice[T any](c *Comm, all []deposit, r int, op string) []T {
+	switch v := all[r].data.(type) {
+	case []T:
+		return v
+	case []byte:
+		return decodeSlice[T](v, op, c.Phys())
+	case nil:
+		return nil
+	default:
+		panic(&ProtocolError{Op: op, Rank: c.Phys(),
+			Detail: fmt.Sprintf("type mismatch in deposit from rank %d: got %T", r, all[r].data)})
+	}
+}
+
 // ensureLen returns buf resliced to length n, reallocating only when the
 // capacity is insufficient. It is the growth primitive of the *Into
 // collective variants and of the scratch arenas built on top of them.
@@ -67,6 +132,9 @@ func AllToAllInto[T any](c *Comm, send, recv [][]T) [][]T {
 	if len(send) != p {
 		panic(fmt.Sprintf("comm: AllToAll send has %d buffers; world has %d ranks", len(send), p))
 	}
+	if c.w.tr != nil {
+		return allToAllWire(c, send, recv)
+	}
 	es := sizeOf[T]()
 	me := c.Rank()
 	own := 0
@@ -98,6 +166,79 @@ func AllToAllInto[T any](c *Comm, send, recv [][]T) [][]T {
 	return recv
 }
 
+// allToAllWire is the personalized exchange on a wire transport. Unlike
+// the simulated deposit (which shares each rank's whole send matrix by
+// reference, making self and cross traffic equally free in real bytes),
+// each pair exchanges only its mutual buffers over TagA2A frames in
+// shifted-pairwise order, so bytes on the wire are exactly the bytes the
+// op owes. A tiny deposit exchange of the per-rank sent totals supplies
+// the maxSent accounting and the clock synchronization that the shared
+// matrix gives the simulated backend — and is the op's single enterOp,
+// keeping fault sites aligned between backends.
+func allToAllWire[T any](c *Comm, send, recv [][]T) [][]T {
+	w := c.w
+	p := c.Size()
+	es := sizeOf[T]()
+	me := c.Rank()
+	own := 0
+	for d, buf := range send {
+		if d != me {
+			own += len(buf) * es
+		}
+	}
+	all := exchangeSlices(c, []int64{int64(own)})
+
+	// Sends are eager (the peer's reader drains its socket), so pushing
+	// all p-1 frames before receiving any cannot deadlock. Empty buffers
+	// still send an empty frame: receivers always expect exactly one
+	// TagA2A frame per peer per call.
+	for k := 1; k < p; k++ {
+		dst := (me + k) % p
+		err := w.tr.Send(w.physOf[dst], TagA2A, Frame{
+			Elem:  uint32(es),
+			Clock: w.clocks[c.rank],
+			Data:  encodeSlice(send[dst]),
+		})
+		if err != nil {
+			c.failNow()
+		}
+	}
+	recv = ensureLen(recv, p)
+	recv[me] = send[me]
+	recvBytes := 0
+	for k := 1; k < p; k++ {
+		src := (me - k + p) % p
+		f, err := w.tr.Recv(w.physOf[src], TagA2A)
+		if err != nil {
+			c.failNow()
+		}
+		if f.Elem != uint32(es) {
+			panic(&ProtocolError{Op: "AllToAll", Rank: c.Phys(),
+				Detail: fmt.Sprintf("element size mismatch: rank %d sent %d-byte elements, expected %d", src, f.Elem, es)})
+		}
+		recv[src] = decodeSlice[T](f.Data, "AllToAll", c.Phys())
+		recvBytes += len(recv[src]) * es
+	}
+	maxSent := 0
+	for r := 0; r < p; r++ {
+		v := depositSlice[int64](c, all, r, "AllToAll")
+		if len(v) != 1 {
+			panic(&ProtocolError{Op: "AllToAll", Rank: c.Phys(),
+				Detail: fmt.Sprintf("malformed sent-total header from rank %d", r)})
+		}
+		if int(v[0]) > maxSent {
+			maxSent = int(v[0])
+		}
+	}
+	st := c.Stats()
+	st.BytesSent += int64(own)
+	st.BytesRecv += int64(recvBytes)
+	st.AllToAlls++
+	c.traceComm(int64(own), int64(recvBytes))
+	c.Compute(c.Model().AllToAll(p, maxSent))
+	return recv
+}
+
 // AllReduce combines equal-length vectors from every rank elementwise with
 // op (applied in rank order, so non-commutative ops are still deterministic)
 // and returns the combined vector on every rank.
@@ -110,12 +251,12 @@ func AllReduce[T any](c *Comm, x []T, op func(a, b T) T) []T {
 func AllReduceInto[T any](c *Comm, x, out []T, op func(a, b T) T) []T {
 	p := c.Size()
 	es := sizeOf[T]()
-	all := c.exchange(x)
+	all := exchangeSlices(c, x)
 	n := len(x)
 	out = ensureLen(out, n)
 	first := true
 	for r := 0; r < p; r++ {
-		v := all[r].data.([]T)
+		v := depositSlice[T](c, all, r, "AllReduce")
 		if len(v) != n {
 			panic(&ProtocolError{Op: "AllReduce", Rank: c.Phys(),
 				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
@@ -164,14 +305,14 @@ func ExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
 func ExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []T {
 	p := c.Size()
 	es := sizeOf[T]()
-	all := c.exchange(x)
+	all := exchangeSlices(c, x)
 	n := len(x)
 	out = ensureLen(out, n)
 	for i := range out {
 		out[i] = zero
 	}
 	for r := 0; r < c.Rank(); r++ {
-		v := all[r].data.([]T)
+		v := depositSlice[T](c, all, r, "ExScan")
 		if len(v) != n {
 			panic(&ProtocolError{Op: "ExScan", Rank: c.Phys(),
 				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
@@ -214,14 +355,14 @@ func ReverseExScan[T any](c *Comm, x []T, op func(a, b T) T, zero T) []T {
 func ReverseExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []T {
 	p := c.Size()
 	es := sizeOf[T]()
-	all := c.exchange(x)
+	all := exchangeSlices(c, x)
 	n := len(x)
 	out = ensureLen(out, n)
 	for i := range out {
 		out[i] = zero
 	}
 	for r := c.Rank() + 1; r < p; r++ {
-		v := all[r].data.([]T)
+		v := depositSlice[T](c, all, r, "ReverseExScan")
 		if len(v) != n {
 			panic(&ProtocolError{Op: "ReverseExScan", Rank: c.Phys(),
 				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
@@ -245,11 +386,11 @@ func ReverseExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []
 func Allgather[T any](c *Comm, x []T) [][]T {
 	p := c.Size()
 	es := sizeOf[T]()
-	all := c.exchange(x)
+	all := exchangeSlices(c, x)
 	out := make([][]T, p)
 	maxEach, recvBytes := 0, 0
 	for r := 0; r < p; r++ {
-		v := all[r].data.([]T)
+		v := depositSlice[T](c, all, r, "Allgather")
 		out[r] = v
 		if b := len(v) * es; b > maxEach {
 			maxEach = b
@@ -291,7 +432,7 @@ func Reduce[T any](c *Comm, root int, x []T, op func(a, b T) T) []T {
 		panic(fmt.Sprintf("comm: Reduce root %d out of range [0,%d)", root, p))
 	}
 	es := sizeOf[T]()
-	all := c.exchange(x)
+	all := exchangeSlices(c, x)
 	n := len(x)
 	st := c.Stats()
 	st.Reduces++
@@ -306,7 +447,7 @@ func Reduce[T any](c *Comm, root int, x []T, op func(a, b T) T) []T {
 	out := make([]T, n)
 	first := true
 	for r := 0; r < p; r++ {
-		v := all[r].data.([]T)
+		v := depositSlice[T](c, all, r, "Reduce")
 		if len(v) != n {
 			panic(&ProtocolError{Op: "Reduce", Rank: c.Phys(),
 				Detail: fmt.Sprintf("length mismatch: root expects %d elements, rank %d has %d", n, r, len(v))})
@@ -363,12 +504,12 @@ func ReduceScatterInto[T any](c *Comm, x, out []T, counts []int, op func(a, b T)
 		panic(fmt.Sprintf("comm: ReduceScatter counts sum to %d; vector has %d elements", total, n))
 	}
 	es := sizeOf[T]()
-	all := c.exchange(x)
+	all := exchangeSlices(c, x)
 	mine := counts[c.Rank()]
 	out = ensureLen(out, mine)
 	first := true
 	for r := 0; r < p; r++ {
-		v := all[r].data.([]T)
+		v := depositSlice[T](c, all, r, "ReduceScatter")
 		if len(v) != n {
 			panic(&ProtocolError{Op: "ReduceScatter", Rank: c.Phys(),
 				Detail: fmt.Sprintf("length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
@@ -421,8 +562,8 @@ func Bcast[T any](c *Comm, root int, x []T) []T {
 	if c.Rank() == root {
 		contrib = x
 	}
-	all := c.exchange(contrib)
-	out := all[root].data.([]T)
+	all := exchangeSlices(c, contrib)
+	out := depositSlice[T](c, all, root, "Bcast")
 	st := c.Stats()
 	st.Bcasts++
 	if c.Rank() == root {
@@ -444,7 +585,7 @@ func Gather[T any](c *Comm, root int, x []T) [][]T {
 		panic(fmt.Sprintf("comm: Gather root %d out of range [0,%d)", root, p))
 	}
 	es := sizeOf[T]()
-	all := c.exchange(x)
+	all := exchangeSlices(c, x)
 	st := c.Stats()
 	st.Gathers++
 	c.Compute(c.Model().Reduce(p, len(x)*es))
@@ -456,7 +597,7 @@ func Gather[T any](c *Comm, root int, x []T) [][]T {
 	out := make([][]T, p)
 	recvBytes := 0
 	for r := 0; r < p; r++ {
-		out[r] = all[r].data.([]T)
+		out[r] = depositSlice[T](c, all, r, "Gather")
 		if r != root {
 			recvBytes += len(out[r]) * es
 		}

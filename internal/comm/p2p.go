@@ -20,12 +20,24 @@ func Send[T any](c *Comm, dst int, x []T) {
 	st.BytesSent += int64(bytes)
 	st.MsgsSent++
 	c.traceComm(int64(bytes), 0)
-	// Copy the buffer, as a real eager send does: the caller is free to
-	// mutate x the moment Send returns.
-	buf := make([]T, len(x))
-	copy(buf, x)
 	// The sender pays the startup latency and hands the data off.
 	c.Compute(c.Model().P2PLatency)
+	if w := c.w; w.tr != nil {
+		err := w.tr.Send(w.physOf[dst], TagP2P, Frame{
+			Elem:  uint32(sizeOf[T]()),
+			Clock: c.ClockPicos(),
+			Data:  encodeSlice(x),
+		})
+		if err != nil {
+			c.failNow()
+		}
+		return
+	}
+	// Copy the buffer, as a real eager send does: the caller is free to
+	// mutate x the moment Send returns. (The wire path above needs no
+	// copy: the transport has written the bytes out before returning.)
+	buf := make([]T, len(x))
+	copy(buf, x)
 	select {
 	case c.w.mail[c.Phys()][c.w.physOf[dst]] <- pmessage{data: buf, bytes: bytes, clock: c.ClockPicos()}:
 	case <-c.failChan():
@@ -50,26 +62,46 @@ func Recv[T any](c *Comm, src int) []T {
 		panic("comm: Recv from self; use a local copy instead")
 	}
 	c.enterOp(OpRecv)
-	var m pmessage
-	select {
-	case m = <-c.w.mail[c.w.physOf[src]][c.Phys()]:
-	case <-c.failChan():
-		c.failNow()
-	}
-	x, ok := m.data.([]T)
-	if !ok {
-		panic(&ProtocolError{Op: "Recv", Rank: c.Phys(),
-			Detail: fmt.Sprintf("type mismatch from rank %d: got %T", src, m.data)})
+	var x []T
+	var bytes int
+	var sendClock int64
+	if w := c.w; w.tr != nil {
+		f, err := w.tr.Recv(w.physOf[src], TagP2P)
+		if err != nil {
+			c.failNow()
+		}
+		if f.Elem != uint32(sizeOf[T]()) {
+			panic(&ProtocolError{Op: "Recv", Rank: c.Phys(),
+				Detail: fmt.Sprintf("type mismatch from rank %d: got %d-byte elements, expected %d", src, f.Elem, sizeOf[T]())})
+		}
+		x = decodeSlice[T](f.Data, "Recv", c.Phys())
+		bytes = len(f.Data)
+		sendClock = f.Clock
+	} else {
+		var m pmessage
+		select {
+		case m = <-c.w.mail[c.w.physOf[src]][c.Phys()]:
+		case <-c.failChan():
+			c.failNow()
+		}
+		var ok bool
+		x, ok = m.data.([]T)
+		if !ok {
+			panic(&ProtocolError{Op: "Recv", Rank: c.Phys(),
+				Detail: fmt.Sprintf("type mismatch from rank %d: got %T", src, m.data)})
+		}
+		bytes = m.bytes
+		sendClock = m.clock
 	}
 	st := c.Stats()
-	st.BytesRecv += int64(m.bytes)
+	st.BytesRecv += int64(bytes)
 	st.MsgsRecv++
-	c.traceComm(0, int64(m.bytes))
+	c.traceComm(0, int64(bytes))
 	start := c.ClockPicos()
-	if m.clock > start {
-		start = m.clock
+	if sendClock > start {
+		start = sendClock
 	}
-	c.advanceTo(start + picos(float64(m.bytes)/c.Model().P2PBandwidth))
+	c.advanceTo(start + picos(float64(bytes)/c.Model().P2PBandwidth))
 	return x
 }
 
@@ -78,8 +110,22 @@ func Recv[T any](c *Comm, src int) []T {
 // building block of the "parallel shift" after sample sort.
 func SendRecv[T any](c *Comm, partner int, x []T) []T {
 	if partner == c.Rank() {
+		// A self-partnered exchange is still a send op followed by a
+		// receive op: it passes through both fault sites and counts in
+		// Msgs/Bytes like any other pair, at zero modeled cost (the copy
+		// never leaves the rank).
+		c.enterOp(OpSend)
+		bytes := int64(len(x) * sizeOf[T]())
+		st := c.Stats()
+		st.BytesSent += bytes
+		st.MsgsSent++
+		c.traceComm(bytes, 0)
 		out := make([]T, len(x))
 		copy(out, x)
+		c.enterOp(OpRecv)
+		st.BytesRecv += bytes
+		st.MsgsRecv++
+		c.traceComm(0, bytes)
 		return out
 	}
 	// Lower rank sends first; the 4-slot mailbox buffering makes the

@@ -1,7 +1,9 @@
 package comm
 
 // Stats accumulates one rank's communication counters. Self-copies inside
-// collectives are free (as on real hardware) and are not counted.
+// collectives are free (as on real hardware) and are not counted; a
+// self-partnered SendRecv, by contrast, is an explicit send op plus
+// receive op and counts in Msgs/Bytes (at zero modeled cost).
 type Stats struct {
 	BytesSent int64
 	BytesRecv int64

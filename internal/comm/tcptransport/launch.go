@@ -1,0 +1,204 @@
+package tcptransport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Worker environment. The coordinator binds every rank's listener
+// before spawning anything, passes each worker its own listener as fd 3
+// (ExtraFiles), and describes the mesh in these variables. RESULT names
+// the file the surviving dense-rank-0 worker writes its output to.
+const (
+	envRank   = "SCALPARC_TCP_RANK"
+	envProcs  = "SCALPARC_TCP_PROCS"
+	envAddrs  = "SCALPARC_TCP_ADDRS"
+	envResult = "SCALPARC_TCP_RESULT"
+
+	listenerFD = 3
+)
+
+// IsWorker reports whether this process was spawned as a TCP rank
+// worker (and should run the worker path instead of the coordinator).
+func IsWorker() bool { return os.Getenv(envRank) != "" }
+
+// ResultPath is the file a worker writes its result to (see Job.Wait).
+func ResultPath() string { return os.Getenv(envResult) }
+
+// FromEnv connects the transport described by the worker environment:
+// rank and address list from the variables, the pre-bound listener from
+// fd 3.
+func FromEnv() (*T, error) {
+	rank, err := strconv.Atoi(os.Getenv(envRank))
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: bad %s: %w", envRank, err)
+	}
+	procs, err := strconv.Atoi(os.Getenv(envProcs))
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: bad %s: %w", envProcs, err)
+	}
+	addrs := strings.Split(os.Getenv(envAddrs), ",")
+	if len(addrs) != procs {
+		return nil, fmt.Errorf("tcptransport: %s has %d addresses for %d ranks", envAddrs, len(addrs), procs)
+	}
+	f := os.NewFile(listenerFD, "tcp-listener")
+	if f == nil {
+		return nil, fmt.Errorf("tcptransport: listener fd %d not inherited", listenerFD)
+	}
+	ln, err := net.FileListener(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listener fd: %w", err)
+	}
+	return Connect(rank, ln, addrs)
+}
+
+// Job is a coordinator's handle on a set of spawned rank workers.
+type Job struct {
+	procs  []*exec.Cmd
+	dir    string
+	result string
+}
+
+// Launch re-executes the current binary p times as rank workers, each
+// carrying the given command-line args plus the worker environment.
+// Worker output goes to stderr (the coordinator's stdout stays the
+// coordinator's).
+func Launch(p int, args []string, stderr io.Writer) (*Job, error) {
+	bin, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: locate binary: %w", err)
+	}
+	lns, addrs, err := Listen(p)
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	dir, err := os.MkdirTemp("", "scalparc-tcp-")
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	j := &Job{dir: dir, result: filepath.Join(dir, "result.json")}
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	for i := 0; i < p; i++ {
+		f, err := lns[i].(*net.TCPListener).File()
+		if err != nil {
+			closeAll()
+			j.kill()
+			return nil, fmt.Errorf("tcptransport: dup listener %d: %w", i, err)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Env = append(os.Environ(),
+			envRank+"="+strconv.Itoa(i),
+			envProcs+"="+strconv.Itoa(p),
+			envAddrs+"="+strings.Join(addrs, ","),
+			envResult+"="+j.result,
+		)
+		cmd.ExtraFiles = []*os.File{f} // becomes fd 3 in the child
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			f.Close()
+			closeAll()
+			j.kill()
+			return nil, fmt.Errorf("tcptransport: start rank %d: %w", i, err)
+		}
+		f.Close() // child holds its own dup
+		j.procs = append(j.procs, cmd)
+	}
+	// The children own their listener dups; the coordinator's copies
+	// would otherwise keep the ports open forever.
+	closeAll()
+	return j, nil
+}
+
+func (j *Job) kill() {
+	for _, c := range j.procs {
+		if c.Process != nil {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}
+}
+
+// Wait blocks until every worker exits and returns the result file
+// written by the surviving dense-rank-0 worker. Nonzero worker exits are
+// an error; a missing result file (all result-writers crashed) is too.
+func (j *Job) Wait() ([]byte, error) {
+	var firstErr error
+	for i, c := range j.procs {
+		if err := c.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tcptransport: rank %d: %w", i, err)
+		}
+	}
+	defer os.RemoveAll(j.dir)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	data, err := os.ReadFile(j.result)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: no result from workers: %w", err)
+	}
+	return data, nil
+}
+
+// WriteResult atomically publishes a worker's result for the
+// coordinator (write-to-temp then rename, so a crash mid-write never
+// leaves a half result).
+func WriteResult(data []byte) error {
+	path := ResultPath()
+	if path == "" {
+		return fmt.Errorf("tcptransport: %s not set", envResult)
+	}
+	tmp := path + ".tmp." + strconv.Itoa(os.Getpid())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ConnectLocal builds a p-rank mesh inside one process (each rank's leg
+// on its own goroutine), for tests that exercise the wire path without
+// spawning workers.
+func ConnectLocal(p int) ([]*T, error) {
+	lns, addrs, err := Listen(p)
+	if err != nil {
+		return nil, err
+	}
+	ts := make([]*T, p)
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			ts[i], errs[i] = Connect(i, lns[i], addrs)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			for _, t := range ts {
+				if t != nil {
+					t.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return ts, nil
+}

@@ -1,0 +1,110 @@
+// Package tcptransport is the real-process backend of the comm.Transport
+// seam: every rank is a separate OS process and frames move over
+// localhost TCP instead of shared memory. The goroutine-simulated
+// machine remains the deterministic oracle; this backend exists so that
+// bytes on the wire, process boundaries, and wall clocks are real.
+//
+// Topology is a full mesh built at startup: rank i dials every lower
+// rank and accepts a connection from every higher rank, identifying
+// itself with a 4-byte hello. All listeners are bound (by the
+// coordinator or by ConnectLocal) before any rank starts connecting, so
+// dials never race the accept side.
+//
+// Failure detection is fail-stop: a dying rank closes its connections
+// (deliberately on an injected crash via Kill, implicitly on any exit),
+// and every peer's reader observes EOF. There are no timeouts and no
+// false suspicions — exactly the failure model the simulated machine's
+// recovery protocol assumes.
+//
+// Recovery uses epochs. Every frame carries its sender's epoch; Shrink
+// is a one-round rendezvous in which survivors exchange dead-set
+// bitmasks, union them, and step to the next epoch, after which stale
+// frames from the previous epoch are discarded on sight. Racing deaths
+// (a rank dying while the rendezvous is in flight) may leave survivors
+// briefly disagreeing about the live set; the disagreement is always
+// observed as either an EOF or a shrink frame for the current epoch,
+// both of which push the laggard into another rendezvous, so the group
+// converges within one extra epoch.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/comm"
+)
+
+// Wire framing: a 4-byte little-endian length (of everything that
+// follows) and a fixed header — tag, element size, sender epoch, sender
+// virtual clock — then the flat payload. Header fields are fixed-width
+// so a frame is parseable without any payload knowledge.
+const (
+	hdrLen   = 1 + 4 + 8 + 8
+	maxFrame = 1 << 30
+)
+
+type wireFrame struct {
+	tag   comm.Tag
+	elem  uint32
+	epoch uint64
+	clock int64
+	data  []byte
+}
+
+func writeFrame(c net.Conn, f wireFrame) error {
+	buf := make([]byte, 4+hdrLen+len(f.data))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(hdrLen+len(f.data)))
+	buf[4] = byte(f.tag)
+	binary.LittleEndian.PutUint32(buf[5:], f.elem)
+	binary.LittleEndian.PutUint64(buf[9:], f.epoch)
+	binary.LittleEndian.PutUint64(buf[17:], uint64(f.clock))
+	copy(buf[4+hdrLen:], f.data)
+	_, err := c.Write(buf)
+	return err
+}
+
+func readFrame(c net.Conn) (wireFrame, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(c, lb[:]); err != nil {
+		return wireFrame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n < hdrLen || n > maxFrame {
+		return wireFrame{}, fmt.Errorf("tcptransport: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return wireFrame{}, err
+	}
+	f := wireFrame{
+		tag:   comm.Tag(buf[0]),
+		elem:  binary.LittleEndian.Uint32(buf[1:]),
+		epoch: binary.LittleEndian.Uint64(buf[5:]),
+		clock: int64(binary.LittleEndian.Uint64(buf[13:])),
+	}
+	if int(f.tag) >= comm.NumTags {
+		return wireFrame{}, fmt.Errorf("tcptransport: unknown frame tag %d", f.tag)
+	}
+	if n > hdrLen {
+		f.data = buf[hdrLen:]
+	}
+	return f, nil
+}
+
+// hello identifies the dialing rank to the accepting side.
+func writeHello(c net.Conn, rank int) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(rank))
+	_, err := c.Write(b[:])
+	return err
+}
+
+func readHello(c net.Conn) (int, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(b[:])), nil
+}

@@ -96,6 +96,14 @@ type World struct {
 
 	mail [][]chan pmessage // mail[src][dst], physical indices
 
+	// Transport mode (see transport.go): tr non-nil makes this World a
+	// one-local-rank view of a distributed machine — rank self runs in
+	// this process, every other rank is a peer process behind tr. The
+	// deposit cells and mailboxes above go unused; exchange, barrier,
+	// p2p, and shrink delegate to the transport instead.
+	tr   Transport
+	self int
+
 	// Failure machinery (see faults.go). Collective wire state (cells,
 	// barrier slots) is indexed by *dense* rank id; per-rank history
 	// (clocks, stats, mem, traces, mail) stays physical so a lost rank's
@@ -182,6 +190,61 @@ func NewWorld(p int, model timing.Model) *World {
 	return w
 }
 
+// NewTransportWorld creates a World driven by a wire transport: the
+// local process runs exactly rank t.Rank() of a t.Size()-rank machine
+// whose other ranks are peer processes. The full per-rank bookkeeping
+// arrays exist (results are indexed by physical rank as usual) but only
+// the local rank's entries are ever written; peers report their own.
+func NewTransportWorld(t Transport, model timing.Model) *World {
+	w := NewWorld(t.Size(), model)
+	w.tr = t
+	w.self = t.Rank()
+	t.OnFailure(func(phys int) { w.peerFailed(phys) })
+	// Deaths the transport observed before this World attached (e.g. a
+	// peer lost during connection setup) still need local bookkeeping.
+	for _, phys := range t.Dead() {
+		w.peerFailed(phys)
+	}
+	return w
+}
+
+// Distributed reports whether this World runs over a wire transport
+// (one local rank per process) rather than the simulated machine.
+func (w *World) Distributed() bool { return w.tr != nil }
+
+// Live reports whether the given physical rank is currently live. Call
+// only while no SPMD section is running.
+func (w *World) Live(phys int) bool { return w.live[phys] }
+
+// peerFailed is the transport's failure callback: a peer process died
+// (phys >= 0) or requested recovery (phys == -1, a shrink announcement
+// for the current epoch arrived while this rank was still working). It
+// mirrors markDead's survivor-side effects: record the loss, open the
+// failure epoch, and flip the dirty flag so every blocked or future
+// operation unwinds with a *RankFailure.
+func (w *World) peerFailed(phys int) {
+	w.fmu.Lock()
+	if phys >= 0 {
+		if !w.live[phys] {
+			w.fmu.Unlock()
+			return
+		}
+		w.live[phys] = false
+		w.lost = append(w.lost, phys)
+	}
+	if w.failCause == nil {
+		// The wire can only observe fail-stop (a closed connection), so
+		// every transport-detected failure is the recoverable kind.
+		w.failCause = ErrCrashed
+	}
+	if w.failOpen {
+		close(w.failCh)
+		w.failOpen = false
+	}
+	w.fmu.Unlock()
+	w.dirty.Store(true)
+}
+
 // SetFaultInjector installs a deterministic fault injector consulted at
 // every communication-operation entry. Call only while no SPMD section is
 // running; nil removes the injector.
@@ -231,9 +294,19 @@ func (w *World) Rank(r int) *Comm {
 // Run spawns goroutines only for currently live ranks, so an SPMD section
 // started after a fault runs on the shrunk world.
 func (w *World) Run(f func(c *Comm)) {
+	// Snapshot the live set before spawning: in transport mode the local
+	// rank's goroutine (or the transport reader) may record a peer death
+	// in w.live while this loop is still scanning it.
+	w.fmu.Lock()
+	live := append([]bool(nil), w.live...)
+	w.fmu.Unlock()
 	var wg sync.WaitGroup
 	for r := 0; r < w.p; r++ {
-		if !w.live[r] {
+		if !live[r] {
+			continue
+		}
+		if w.tr != nil && r != w.self {
+			// Transport mode: peer ranks run in their own processes.
 			continue
 		}
 		wg.Add(1)
@@ -422,30 +495,65 @@ func (c *Comm) Mem() *MemMeter { return &c.w.mem[c.rank] }
 func (c *Comm) Stats() *Stats { return &c.w.stats[c.rank] }
 
 // Barrier blocks until every rank has entered it, synchronizes virtual
-// clocks to the maximum, and charges the modeled barrier cost.
+// clocks to the maximum, and charges the modeled barrier cost. A barrier
+// is also a collective-epoch boundary: it drops this rank's references
+// to the previous collective's deposit buffers (see clearDeposits).
 func (c *Comm) Barrier() {
 	w := c.w
 	c.enterOp(OpBarrier)
-	sz := w.sz
-	w.cells[c.Rank()] = deposit{clock: w.clocks[c.rank]}
-	c.await()
 	var max int64
-	for r := 0; r < sz; r++ {
-		if w.cells[r].clock > max {
-			max = w.cells[r].clock
+	sz := w.sz
+	if w.tr != nil {
+		frames, err := w.tr.Exchange(TagBarrier, Frame{Clock: w.clocks[c.rank]})
+		if err != nil {
+			c.failNow()
 		}
+		sz = len(frames)
+		for _, f := range frames {
+			if f.Clock > max {
+				max = f.Clock
+			}
+		}
+	} else {
+		w.cells[c.Rank()] = deposit{clock: w.clocks[c.rank]}
+		c.await()
+		for r := 0; r < sz; r++ {
+			if w.cells[r].clock > max {
+				max = w.cells[r].clock
+			}
+		}
+		c.await()
 	}
-	c.await()
 	c.advanceTo(max + picos(w.model.Barrier(sz)))
 	w.stats[c.rank].Barriers++
 	c.traceComm(0, 0)
+	c.clearDeposits()
 }
 
-// exchange is the collective building block: every rank deposits one value
-// and receives the full vector of deposits in (dense) rank order. The two
-// barriers make the deposit array race-free between consecutive exchanges.
-// The caller's clock is synchronized to the maximum deposit clock; the
-// caller then adds the operation-specific modeled cost.
+// clearDeposits drops this rank's lingering references to the last
+// collective's buffers: its deposit-snapshot slice (exchBuf). Without
+// this, the snapshot pins the final collective's data for the life of
+// the world — invisible at in-core sizes, but a real leak for
+// out-of-core runs whose collective buffers are large. (The deposit
+// cells need no separate pass here: entering a barrier overwrites this
+// rank's cell with a clock-only deposit, which clears its data
+// reference; Shrink clears every cell.) It touches only rank-private
+// state, so it is race-free anywhere between two of this rank's
+// collectives; Barrier and Shrink call it.
+func (c *Comm) clearDeposits() {
+	buf := c.w.exchBuf[c.rank]
+	for i := range buf {
+		buf[i].data = nil
+	}
+}
+
+// exchange is the collective building block on the simulated machine:
+// every rank deposits one value and receives the full vector of deposits
+// in (dense) rank order. The two barriers make the deposit array
+// race-free between consecutive exchanges. The caller's clock is
+// synchronized to the maximum deposit clock; the caller then adds the
+// operation-specific modeled cost. Transport worlds use exchangeFrames
+// instead; the generic shims in collectives.go pick the right one.
 func (c *Comm) exchange(data any) []deposit {
 	w := c.w
 	c.enterOp(OpCollective)
@@ -459,6 +567,36 @@ func (c *Comm) exchange(data any) []deposit {
 	for r := range all {
 		if all[r].clock > max {
 			max = all[r].clock
+		}
+	}
+	c.advanceTo(max)
+	return all
+}
+
+// exchangeFrames is exchange over a wire transport: the local
+// contribution rides as encoded payload bytes, and the returned deposit
+// vector holds []byte payloads for the peers and the caller's own value
+// (local, unencoded — so own-contribution aliasing behaves exactly as on
+// the simulated machine) in its own slot. Deposit clocks come from the
+// frame headers, so clock synchronization is identical on both backends.
+func (c *Comm) exchangeFrames(tag Tag, local any, payload []byte) []deposit {
+	w := c.w
+	c.enterOp(OpCollective)
+	frames, err := w.tr.Exchange(tag, Frame{Clock: w.clocks[c.rank], Data: payload})
+	if err != nil {
+		c.failNow()
+	}
+	all := w.exchBuf[c.rank][:len(frames)]
+	me := c.Rank()
+	var max int64
+	for r := range frames {
+		if r == me {
+			all[r] = deposit{data: local, clock: frames[r].Clock}
+		} else {
+			all[r] = deposit{data: frames[r].Data, clock: frames[r].Clock}
+		}
+		if frames[r].Clock > max {
+			max = frames[r].Clock
 		}
 	}
 	c.advanceTo(max)
@@ -488,6 +626,11 @@ func (c *Comm) enterOp(op Op) {
 		if w.markDead(c.rank, ErrCrashed) {
 			w.stats[c.rank].Crashes++
 			c.Event("fault:crash")
+			if w.tr != nil {
+				// Announce the fail-stop on the wire: peers observe the
+				// closed connections as this rank's death.
+				w.tr.Kill()
+			}
 			panic(Crashed{Rank: c.rank})
 		}
 		// Refusing to kill the last live rank: a machine with no
@@ -591,6 +734,9 @@ func (c *Comm) failChan() <-chan struct{} {
 // every collective work on the shrunk world.
 func (c *Comm) Shrink() []int {
 	w := c.w
+	if w.tr != nil {
+		return c.shrinkTransport()
+	}
 	w.fmu.Lock()
 	w.shrinkWait++
 	gen := w.shrinkGen
@@ -602,6 +748,58 @@ func (c *Comm) Shrink() []int {
 	w.fmu.Unlock()
 
 	c.advanceTo(w.shrinkClock)
+	w.stats[c.rank].Shrinks++
+	c.Event("recovery:shrink")
+	return lost
+}
+
+// shrinkTransport is Shrink over a wire transport: the transport runs
+// the survivor rendezvous (dead-set agreement) and this World applies
+// the same dense renumbering the simulated machine would. A peer death
+// that raced the agreement (observed on the wire but not in the agreed
+// set) seeds the next failure epoch immediately, so the very next
+// operation unwinds into another recovery round instead of deadlocking
+// on a dead peer.
+func (c *Comm) shrinkTransport() []int {
+	w := c.w
+	lost, maxClock, err := w.tr.Shrink(w.clocks[c.rank])
+	if err != nil {
+		// No survivors to rendezvous with: unrecoverable.
+		panic(&RankFailure{Lost: w.Lost(), Cause: err})
+	}
+	w.fmu.Lock()
+	for _, phys := range lost {
+		w.live[phys] = false
+	}
+	d := 0
+	for r, alive := range w.live {
+		if !alive {
+			w.denseOf[r] = -1
+			continue
+		}
+		w.denseOf[r] = d
+		w.physOf[d] = r
+		d++
+	}
+	w.sz = d
+	w.failCh = make(chan struct{})
+	w.failOpen = true
+	w.failCause = nil
+	w.lost = nil
+	for i := range w.detectCharged {
+		w.detectCharged[i] = false
+	}
+	w.fmu.Unlock()
+	w.dirty.Store(false)
+	// Late deaths the wire has already observed but the agreement missed
+	// open the next epoch right away.
+	for _, phys := range w.tr.Dead() {
+		if w.live[phys] {
+			w.peerFailed(phys)
+		}
+	}
+	c.clearDeposits()
+	c.advanceTo(maxClock)
 	w.stats[c.rank].Shrinks++
 	c.Event("recovery:shrink")
 	return lost
@@ -659,6 +857,18 @@ func (w *World) maybeFinishShrink() {
 				}
 				break
 			}
+		}
+	}
+	// Drop every stale deposit reference from the abandoned epoch: the
+	// cells and snapshot slices of all ranks (survivors are parked in
+	// Shrink and the dead never return, so this is race-free here), so a
+	// crashed collective's buffers don't stay pinned across recovery.
+	for i := range w.cells {
+		w.cells[i] = deposit{}
+	}
+	for i := range w.exchBuf {
+		for j := range w.exchBuf[i] {
+			w.exchBuf[i][j] = deposit{}
 		}
 	}
 	w.failCh = make(chan struct{})

@@ -67,7 +67,14 @@ type Event struct {
 func (e Event) String() string {
 	s := fmt.Sprintf("%s@%s:%d:%d", e.Kind, e.Phase, e.Level, e.Rank)
 	if e.Kind == Straggle {
-		s += fmt.Sprintf(":%v", time.Duration(e.SkewPicos/1000)*time.Nanosecond)
+		if e.SkewPicos%1000 != 0 {
+			// Not a whole number of nanoseconds: time.Duration cannot
+			// carry it, so render picoseconds exactly. Parse accepts the
+			// "<n>ps" form back, making String/Parse a lossless pair.
+			s += fmt.Sprintf(":%dps", e.SkewPicos)
+		} else {
+			s += fmt.Sprintf(":%v", time.Duration(e.SkewPicos/1000)*time.Nanosecond)
+		}
 	}
 	if e.Nth != 0 {
 		s += fmt.Sprintf("#%d", e.Nth)
@@ -299,6 +306,18 @@ func parseEvent(s string, p int) (Event, error) {
 		return e, fmt.Errorf("faults: rank %q in %q out of range [0,%d)", parts[2], s, p)
 	}
 	if e.Kind == Straggle {
+		// Exact picosecond form first ("<n>ps", the String rendering of
+		// sub-nanosecond skews). time.ParseDuration has no "ps" unit and
+		// its own "µs"/"ns" suffixes never end in plain "ps", so the two
+		// grammars cannot collide.
+		if ps, ok := strings.CutSuffix(parts[3], "ps"); ok {
+			n, err := strconv.ParseInt(ps, 10, 64)
+			if err != nil || n <= 0 {
+				return e, fmt.Errorf("faults: bad straggle skew %q in %q", parts[3], s)
+			}
+			e.SkewPicos = n
+			return e, nil
+		}
 		d, err := time.ParseDuration(parts[3])
 		if err != nil || d <= 0 {
 			return e, fmt.Errorf("faults: bad straggle duration %q in %q", parts[3], s)

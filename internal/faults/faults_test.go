@@ -3,6 +3,7 @@ package faults
 import (
 	"strings"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/comm"
 	"repro/internal/trace"
@@ -182,4 +183,48 @@ func FuzzParse(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestEventStringParseRoundTrip pins the String/Parse pair lossless over
+// arbitrary events — in particular sub-nanosecond straggle skews, which
+// the old duration-only rendering truncated to "0s" (silently dropping
+// the fault on re-parse).
+func TestEventStringParseRoundTrip(t *testing.T) {
+	const p = 16
+	phases := []trace.Phase{trace.Other, trace.Sort, trace.FindSplitI,
+		trace.FindSplitII, trace.PerformSplitI, trace.PerformSplitII}
+	roundTrips := func(rank, phase, level, nth uint8, kind uint8, skew int64) bool {
+		e := Event{
+			Rank:  int(rank) % p,
+			Phase: phases[int(phase)%len(phases)],
+			Level: int(level) % 8,
+			Nth:   int(nth) % 8,
+			Kind:  Kind(kind) % 4,
+		}
+		if e.Kind == Straggle {
+			e.SkewPicos = 1 + (skew&0x7fffffffffffffff)%5_000_000_000 // 1ps .. 5ms
+		}
+		s, err := Parse(e.String(), 0, p)
+		if err != nil {
+			t.Logf("Parse(%q): %v", e.String(), err)
+			return false
+		}
+		ev := s.Events()
+		return len(ev) == 1 && ev[0] == e
+	}
+	if err := quick.Check(roundTrips, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// The regression case verbatim: a 5-picosecond skew.
+	e := Event{Rank: 1, Phase: trace.FindSplitI, Level: 2, Kind: Straggle, SkewPicos: 5}
+	if got := e.String(); got != "straggle@FindSplitI:2:1:5ps" {
+		t.Fatalf("String() = %q, want exact-picosecond form", got)
+	}
+	s, err := Parse(e.String(), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := s.Events(); len(ev) != 1 || ev[0] != e {
+		t.Fatalf("round-trip of %+v came back as %+v", e, s.Events())
+	}
 }

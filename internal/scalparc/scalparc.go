@@ -259,6 +259,12 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	if opts.CheckpointDir != "" && opts.CheckpointEvery == 0 {
 		opts.CheckpointEvery = 1
 	}
+	if opts.CheckpointEvery > 0 && w.Distributed() {
+		// The checkpoint store lives in this process; a transport-backed
+		// world has one rank per process, so a restored snapshot could
+		// never cover the peers. Wire-backed recovery is full replay.
+		return nil, fmt.Errorf("scalparc: checkpointing requires the simulated backend; transport-backed worlds recover by full replay (CheckpointEvery=0)")
+	}
 	var store *CheckpointStore
 	if opts.CheckpointEvery > 0 {
 		var err error
