@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race fuzz guard chaos tcp cover experiments examples clean
+.PHONY: all build vet test bench race fuzz guard chaos tcp serve-test cover experiments examples clean
 
 all: build vet test
 
@@ -26,9 +26,18 @@ bench:
 	$(GO) run ./cmd/benchrunner -exp predict -benchlabel "$(BENCHLABEL)"
 
 # Race-detect the packages with real goroutine concurrency: the simulated
-# machine (one goroutine per rank) and the engine driving it.
+# machine (one goroutine per rank), the engine driving it, and the
+# inference server (micro-batcher + sharded model cache).
 race:
-	$(GO) test -race ./internal/comm ./internal/scalparc
+	$(GO) test -race ./internal/comm ./internal/scalparc \
+		./internal/serve/... ./cmd/serve
+
+# The inference server's full suite: soak/race tests (N clients x M
+# models, bit-equal to the walker oracle), hot-swap drain differential,
+# the testing/quick batcher property test, and a FuzzServeRequest smoke.
+serve-test:
+	$(GO) test -race -count=1 ./internal/serve/... ./cmd/serve
+	$(GO) test -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) -run='^$$' ./internal/serve
 
 # Chaos suite under the race detector: crash-at-every-(phase,level)
 # recovery sweeps, checkpoint round-trips, fault-injector and detection
@@ -57,16 +66,22 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dataset
 	$(GO) test -fuzz=FuzzSplitScan -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gini
 	$(GO) test -fuzz=FuzzPredict -fuzztime=$(FUZZTIME) -run='^$$' ./internal/infer
+	$(GO) test -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) -run='^$$' ./internal/serve
 
 # Benchmark-regression guards, all CI steps; exit non-zero on regression:
 # GUARD-BINNED (binned reduce-scatter FindSplitI invariants), GUARD-HOTPATH
 # (gini kernel ratio + allocation discipline vs the checked-in BENCH_*.json
-# trajectory), and GUARD-PREDICT (compiled batch inference >= 4x the frozen
-# pre-engine walk with bit-identical labels) — see EXPERIMENTS.md.
+# trajectory), GUARD-PREDICT (compiled batch inference >= 4x the frozen
+# pre-engine walk with bit-identical labels), and GUARD-SERVE (the HTTP
+# serving path: bit-identical labels over the wire, throughput/latency vs
+# BENCH_serve.json; failing runs dump latency histograms into
+# SERVE_ARTIFACT_DIR for CI to upload) — see EXPERIMENTS.md.
+SERVE_ARTIFACT_DIR ?= serve-latency
 guard:
 	$(GO) run ./cmd/benchrunner -exp binnedguard
 	$(GO) run ./cmd/benchrunner -exp hotpathguard
 	$(GO) run ./cmd/benchrunner -exp predictguard
+	SERVE_ARTIFACT_DIR="$(SERVE_ARTIFACT_DIR)" $(GO) run ./cmd/benchrunner -exp serveguard
 
 cover:
 	$(GO) test -cover ./...

@@ -40,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, predict, predictguard, tcp, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, predict, predictguard, tcp, serve, serveguard, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -246,6 +246,24 @@ func run(args []string, out io.Writer) error {
 
 	if all || want["predictguard"] {
 		if err := bench.PredictGuard(out, *benchDir); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	// serve measures real wall-clock HTTP serving and appends to
+	// BENCH_serve.json, so like hotpath it only runs when asked by name.
+	if want["serve"] {
+		if err := bench.Serve(out, *benchDir, *benchLabel); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["serveguard"] {
+		if err := bench.ServeGuard(out, *benchDir); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

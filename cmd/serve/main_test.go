@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/serial"
+	"repro/internal/splitter"
+)
+
+// writeTreeFile trains a small tree and serializes it for -model loading.
+func writeTreeFile(t *testing.T, dir, name string, seed int64) string {
+	t.Helper()
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: seed}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := serial.Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeEndToEnd boots the command on a free port with two preloaded
+// models, predicts over HTTP, and shuts down gracefully via context cancel
+// (the signal path in main uses the same cancellation).
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writeTreeFile(t, dir, "a.json", 1)
+	p2 := writeTreeFile(t, dir, "b.json", 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(ctx,
+			[]string{"-addr", "127.0.0.1:0", "-model", "alpha=" + p1, "-model", "beta=" + p2, "-deadline", "1ms"},
+			&out, func(addr string) { addrc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	body := []byte(`{"row": [50000,10000,30,"e2",200000,10,5000]}`)
+	for _, model := range []string{"alpha", "beta"} {
+		resp, err := http.Post("http://"+addr+"/predict/"+model, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr struct {
+			Model   string   `json:"model"`
+			Indices []int    `json:"indices"`
+			Classes []string `json:"classes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || pr.Model != model || len(pr.Indices) != 1 || len(pr.Classes) != 1 {
+			t.Fatalf("predict %s: status %d resp %+v", model, resp.StatusCode, pr)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("graceful shutdown hung")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("missing shutdown log in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `loaded model "alpha" v1`) {
+		t.Fatalf("missing model load log:\n%s", out.String())
+	}
+}
+
+// TestBadFlags exercises startup failure paths.
+func TestBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-model", "nopath"},
+		{"-model", "x=/does/not/exist.json"},
+		{"stray"},
+		{"-addr", "definitely:not:an:addr"},
+	} {
+		if err := run(ctx, args, &out, nil); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

@@ -1,0 +1,620 @@
+// EXP-SERVE: load generation through the production inference server's
+// real HTTP path, and GUARD-SERVE, its CI regression gate.
+//
+// Unlike EXP-PREDICT (which measures the compiled engine's kernel alone),
+// EXP-SERVE measures the whole serving stack: HTTP framing, body decode,
+// the per-model-version micro-batcher, the sharded model cache, and the
+// engine — the path a production row actually takes. Like EXP-TCP it is a
+// real wall-clock measurement on loopback, recorded with host metadata in
+// the checked-in BENCH_serve.json trajectory.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/serial"
+	"repro/internal/serve"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+// The fixed EXP-SERVE workload: two hot models of very different sizes —
+// a production-scale tree trained on noisy records and a small clean one —
+// serving rows from a table generated with a third seed. Clients alternate
+// models so every point exercises the sharded cache, not one entry.
+const (
+	ServeFile       = "BENCH_serve.json"
+	ServeTrainBig   = 100_000
+	ServeTrainNoise = 0.2
+	ServeTrainSmall = 20_000
+	ServeTableRows  = 20_000
+)
+
+const serveNotes = "EXP-SERVE trajectory: real wall-clock load generation through the inference server's full HTTP path on loopback — JSON decode, per-model-version micro-batching (512-row cap, 1ms deadline), sharded model cache, compiled engine — against two hot models (Quest F2: 100k noisy-row tree and 20k clean tree), clients alternating models per request. rows_per_sec counts classified rows; p50/p99 are whole-request client-observed latencies. walk_ns_per_row is the pointer walker's single-thread speed on the same fixture, recorded as the host probe GUARD-SERVE normalizes with. Honest scope: client and server share one host (numcpu in the run metadata — on a 1-CPU host they also share the core), so the points measure serving overhead and batching behavior, not network or multi-core scaling."
+
+// ServePoint is one load shape's measurement in an EXP-SERVE run.
+type ServePoint struct {
+	Clients       int     `json:"clients"`
+	RowsPerReq    int     `json:"rows_per_req"`
+	Requests      int     `json:"requests"`
+	RowsPerSec    float64 `json:"rows_per_sec"`
+	P50Micros     float64 `json:"p50_micros"`
+	P99Micros     float64 `json:"p99_micros"`
+	MeanBatchRows float64 `json:"mean_batch_rows"`
+	DeadlineFrac  float64 `json:"deadline_flush_frac"`
+}
+
+// ServeRun is one labeled EXP-SERVE measurement with host metadata.
+type ServeRun struct {
+	Label        string       `json:"label"`
+	Date         string       `json:"date"`
+	GoVersion    string       `json:"go"`
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	NumCPU       int          `json:"numcpu"`
+	WalkNsPerRow float64      `json:"walk_ns_per_row"`
+	Points       []ServePoint `json:"points"`
+}
+
+// ServeTrajectory is the on-disk shape of BENCH_serve.json: an append-only
+// trajectory of runs, oldest first.
+type ServeTrajectory struct {
+	Experiment string     `json:"experiment"`
+	Notes      string     `json:"notes"`
+	Runs       []ServeRun `json:"runs"`
+}
+
+type serveFixture struct {
+	big   *tree.Tree
+	small *tree.Tree
+	tab   *dataset.Table
+	err   error
+}
+
+var (
+	serveFixOnce sync.Once
+	serveFix     serveFixture
+)
+
+func getServeFixture() (*serveFixture, error) {
+	serveFixOnce.Do(func() {
+		fail := func(err error) { serveFix.err = err }
+		trainBig, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 1, LabelNoise: ServeTrainNoise}, ServeTrainBig)
+		if err != nil {
+			fail(err)
+			return
+		}
+		big, err := serial.Train(trainBig, splitter.Config{})
+		if err != nil {
+			fail(err)
+			return
+		}
+		trainSmall, err := datagen.Generate(datagen.Config{Function: 5, Attrs: datagen.Seven, Seed: 2}, ServeTrainSmall)
+		if err != nil {
+			fail(err)
+			return
+		}
+		small, err := serial.Train(trainSmall, splitter.Config{})
+		if err != nil {
+			fail(err)
+			return
+		}
+		tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: 3}, ServeTableRows)
+		if err != nil {
+			fail(err)
+			return
+		}
+		serveFix = serveFixture{big: big, small: small, tab: tab}
+	})
+	if serveFix.err != nil {
+		return nil, serveFix.err
+	}
+	return &serveFix, nil
+}
+
+// serveWalkProbe times the pointer walker single-threaded over the serving
+// table: the host-speed probe recorded next to the HTTP figures, playing
+// the role BenchGiniScanNaive and PredictNaive play for the other guards.
+func serveWalkProbe(fix *serveFixture) float64 {
+	out := make([]int, fix.tab.NumRows())
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		fix.big.PredictTableWalk(fix.tab, out)
+		ns := float64(time.Since(start).Nanoseconds()) / float64(fix.tab.NumRows())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	sinkInt = out[0]
+	return best
+}
+
+// serveBench is a running benchmark server plus the prebuilt request
+// bodies the load points replay.
+type serveBench struct {
+	srv    *serve.Server
+	hs     *http.Server
+	base   string
+	client *http.Client
+	fix    *serveFixture
+	// bodies[model][rowsPerReq bucket] is a cycle of prebuilt JSON bodies.
+	bodies map[string]map[int][][]byte
+}
+
+func startServeBench(fix *serveFixture, maxConns int) (*serveBench, error) {
+	s := serve.New(serve.Config{})
+	if _, err := s.SetModel("quest-big", fix.big); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if _, err := s.SetModel("quest-small", fix.small); err != nil {
+		s.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return &serveBench{
+		srv:  s,
+		hs:   hs,
+		base: "http://" + ln.Addr().String(),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        maxConns,
+			MaxIdleConnsPerHost: maxConns,
+		}},
+		fix:    fix,
+		bodies: map[string]map[int][][]byte{},
+	}, nil
+}
+
+func (sb *serveBench) stop() {
+	sb.hs.Close()
+	sb.srv.Close()
+}
+
+// bodyCycle prebuilds (and caches) a cycle of JSON bodies of rowsPerReq
+// rows each, windowed over the serving table, so the measured loop spends
+// its time on the wire, not marshaling.
+func (sb *serveBench) bodyCycle(model string, rowsPerReq int) ([][]byte, error) {
+	if c, ok := sb.bodies[model][rowsPerReq]; ok {
+		return c, nil
+	}
+	const cycle = 64
+	tab := sb.fix.tab
+	out := make([][]byte, cycle)
+	for i := range out {
+		rows := make([][]float64, rowsPerReq)
+		for j := range rows {
+			rows[j] = tab.Row((i*rowsPerReq + j) % tab.NumRows())
+		}
+		b, err := json.Marshal(map[string]any{"rows": rows})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	if sb.bodies[model] == nil {
+		sb.bodies[model] = map[int][][]byte{}
+	}
+	sb.bodies[model][rowsPerReq] = out
+	return out, nil
+}
+
+func (sb *serveBench) post(model string, body []byte) error {
+	resp, err := sb.client.Post(sb.base+"/predict/"+model, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("predict %s: status %d", model, resp.StatusCode)
+	}
+	return nil
+}
+
+// measurePoint drives one load shape — clients concurrent connections each
+// sending reqPerClient requests of rowsPerReq rows, alternating between the
+// two models — and returns the point plus every request's latency.
+func (sb *serveBench) measurePoint(clients, rowsPerReq, reqPerClient int) (ServePoint, []time.Duration, error) {
+	models := []string{"quest-big", "quest-small"}
+	cycles := make([][][]byte, len(models))
+	for i, m := range models {
+		c, err := sb.bodyCycle(m, rowsPerReq)
+		if err != nil {
+			return ServePoint{}, nil, err
+		}
+		cycles[i] = c
+	}
+
+	stats := sb.srv.Stats()
+	batches0, batchRows0 := stats.Batches.Load(), stats.BatchRows.Load()
+	deadline0 := stats.DeadlineFlushes.Load()
+
+	lats := make([]time.Duration, clients*reqPerClient)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < reqPerClient; q++ {
+				mi := (c + q) % len(models)
+				body := cycles[mi][(c*reqPerClient+q)%len(cycles[mi])]
+				t0 := time.Now()
+				if err := sb.post(models[mi], body); err != nil {
+					errs[c] = err
+					return
+				}
+				lats[c*reqPerClient+q] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServePoint{}, nil, err
+		}
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	totalRows := clients * reqPerClient * rowsPerReq
+	pt := ServePoint{
+		Clients:    clients,
+		RowsPerReq: rowsPerReq,
+		Requests:   clients * reqPerClient,
+		RowsPerSec: float64(totalRows) / wall.Seconds(),
+		P50Micros:  float64(lats[len(lats)/2].Microseconds()),
+		P99Micros:  float64(lats[len(lats)*99/100].Microseconds()),
+	}
+	if db := stats.Batches.Load() - batches0; db > 0 {
+		pt.MeanBatchRows = float64(stats.BatchRows.Load()-batchRows0) / float64(db)
+		pt.DeadlineFrac = float64(stats.DeadlineFlushes.Load()-deadline0) / float64(db)
+	}
+	return pt, lats, nil
+}
+
+// serveLoadShapes are the fixed EXP-SERVE points: a latency-bound swarm of
+// single-row clients, a balanced mixed shape, and a throughput-bound shape
+// of fewer, fatter requests.
+var serveLoadShapes = []struct{ clients, rowsPerReq, reqPerClient int }{
+	{32, 1, 40},
+	{16, 16, 40},
+	{4, 64, 60},
+}
+
+func measureServe(w io.Writer, fix *serveFixture) ([]ServePoint, [][]time.Duration, error) {
+	sb, err := startServeBench(fix, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sb.stop()
+	// Warmup: fault in connections and pools before the timed points.
+	if _, _, err := sb.measurePoint(4, 4, 8); err != nil {
+		return nil, nil, err
+	}
+	var points []ServePoint
+	var allLats [][]time.Duration
+	for _, shape := range serveLoadShapes {
+		pt, lats, err := sb.measurePoint(shape.clients, shape.rowsPerReq, shape.reqPerClient)
+		if err != nil {
+			return nil, nil, err
+		}
+		points = append(points, pt)
+		allLats = append(allLats, lats)
+		fmt.Fprintf(w, "  %3d clients x %3d rows  %9.0f rows/s  p50 %7.0fµs  p99 %7.0fµs  mean batch %6.1f rows  deadline flushes %4.0f%%\n",
+			pt.Clients, pt.RowsPerReq, pt.RowsPerSec, pt.P50Micros, pt.P99Micros, pt.MeanBatchRows, pt.DeadlineFrac*100)
+	}
+	return points, allLats, nil
+}
+
+// Serve runs and records EXP-SERVE: it measures the load points against a
+// live server on loopback, appends a labeled run to dir's BENCH_serve.json,
+// and prints the resulting trajectory.
+func Serve(w io.Writer, dir, label string) error {
+	fmt.Fprintln(w, "EXP-SERVE — HTTP inference serving on loopback (appending to BENCH_serve.json)")
+	fix, err := getServeFixture()
+	if err != nil {
+		return err
+	}
+	if label == "" {
+		label = "measured " + time.Now().UTC().Format("2006-01-02")
+	}
+	run := ServeRun{
+		Label:        label,
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		WalkNsPerRow: serveWalkProbe(fix),
+	}
+	points, _, err := measureServe(w, fix)
+	if err != nil {
+		return err
+	}
+	run.Points = points
+
+	path := filepath.Join(dir, ServeFile)
+	traj, err := loadServeTrajectory(path)
+	if err != nil {
+		return err
+	}
+	traj.Runs = append(traj.Runs, run)
+	if err := saveServeTrajectory(path, traj); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\ntrajectory (16x16 point: rows/s, p99 µs):")
+	for i := range traj.Runs {
+		r := &traj.Runs[i]
+		line := fmt.Sprintf("  %-38s", r.Label)
+		for _, pt := range r.Points {
+			if pt.Clients == 16 && pt.RowsPerReq == 16 {
+				line += fmt.Sprintf("  %9.0f rows/s  p99 %7.0fµs", pt.RowsPerSec, pt.P99Micros)
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+func loadServeTrajectory(path string) (*ServeTrajectory, error) {
+	traj := &ServeTrajectory{Experiment: "EXP-SERVE", Notes: serveNotes}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		if err := json.Unmarshal(data, traj); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return traj, nil
+}
+
+func saveServeTrajectory(path string, traj *ServeTrajectory) error {
+	out, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// GUARD-SERVE thresholds. The differential gate is absolute; the
+// throughput gate compares the fresh 16x16 point against the checked-in
+// latest run normalized by the walker host probe, with generous slack — a
+// whole-stack wall-clock figure on a shared-host loopback is far noisier
+// than a kernel ns/row. The latency gate only catches order-of-magnitude
+// disasters (a lost deadline flush parks requests for full batches), and
+// the batching gate just proves co-batching happens at all under the
+// fatter shapes.
+const (
+	serveGuardSlack     = 1.6
+	serveGuardP99Floor  = 100_000.0 // µs
+	serveGuardP99Factor = 10.0
+	serveGuardMeanBatch = 1.5
+	serveGuardDiffRows  = 10_000
+)
+
+// serveDifferential pushes serveGuardDiffRows fixture rows through the real
+// HTTP path in mixed-size chunks against both models and insists on
+// bit-identical labels vs each model's walker oracle.
+func serveDifferential(w io.Writer, sb *serveBench) error {
+	fix := sb.fix
+	models := []struct {
+		name string
+		tr   *tree.Tree
+	}{{"quest-big", fix.big}, {"quest-small", fix.small}}
+	chunks := []int{1, 7, 64, 512, 1000}
+	for _, m := range models {
+		want := make([]int, serveGuardDiffRows)
+		for r := 0; r < serveGuardDiffRows; r++ {
+			want[r] = m.tr.Predict(fix.tab.Row(r))
+		}
+		r := 0
+		for r < serveGuardDiffRows {
+			n := chunks[r%len(chunks)]
+			if r+n > serveGuardDiffRows {
+				n = serveGuardDiffRows - r
+			}
+			rows := make([][]float64, n)
+			for j := range rows {
+				rows[j] = fix.tab.Row(r + j)
+			}
+			body, err := json.Marshal(map[string]any{"rows": rows})
+			if err != nil {
+				return err
+			}
+			resp, err := sb.client.Post(sb.base+"/predict/"+m.name, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			var pr struct {
+				Indices []int `json:"indices"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&pr)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK || len(pr.Indices) != n {
+				return fmt.Errorf("model %s chunk at %d: status %d, %d indices for %d rows",
+					m.name, r, resp.StatusCode, len(pr.Indices), n)
+			}
+			for j := 0; j < n; j++ {
+				if pr.Indices[j] != want[r+j] {
+					return fmt.Errorf("model %s row %d: served %d, walker oracle %d",
+						m.name, r+j, pr.Indices[j], want[r+j])
+				}
+			}
+			r += n
+		}
+	}
+	fmt.Fprintf(w, "  labels identical over HTTP: %d rows x %d models, mixed chunk sizes\n",
+		serveGuardDiffRows, len(models))
+	return nil
+}
+
+func serveChecks(fresh []ServePoint, freshWalkNs float64, traj *ServeTrajectory) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	find := func(pts []ServePoint, clients, rows int) *ServePoint {
+		for i := range pts {
+			if pts[i].Clients == clients && pts[i].RowsPerReq == rows {
+				return &pts[i]
+			}
+		}
+		return nil
+	}
+
+	// Gate 1 (host-independent): the fat shapes must actually co-batch.
+	for _, shape := range [][2]int{{16, 16}, {4, 64}} {
+		if pt := find(fresh, shape[0], shape[1]); pt == nil {
+			fail("missing fresh %dx%d point", shape[0], shape[1])
+		} else if pt.MeanBatchRows < serveGuardMeanBatch {
+			fail("micro-batching broke: %dx%d mean batch %.2f rows < %.1f",
+				shape[0], shape[1], pt.MeanBatchRows, serveGuardMeanBatch)
+		}
+	}
+
+	// Gate 2 (host-independent): the single-row swarm's p99 must stay
+	// bounded-latency — a lost deadline flush waits for 512-row batches
+	// that never fill and blows through this by orders of magnitude.
+	if pt := find(fresh, 32, 1); pt == nil {
+		fail("missing fresh 32x1 point")
+	} else if pt.P99Micros > serveGuardP99Floor {
+		fail("single-row p99 %.0fµs exceeds the %.0fµs disaster line", pt.P99Micros, serveGuardP99Floor)
+	}
+
+	latest := latestServeRun(traj)
+	if latest == nil {
+		fail("missing trajectory: %s has no runs", ServeFile)
+		return errs
+	}
+
+	// Gate 3 (host-normalized): fresh 16x16 throughput against the
+	// recorded run, scaled by the walker probe ratio.
+	rec := find(latest.Points, 16, 16)
+	freshPt := find(fresh, 16, 16)
+	if rec == nil || freshPt == nil {
+		fail("missing 16x16 point in the recorded or fresh run")
+		return errs
+	}
+	if latest.WalkNsPerRow > 0 && freshWalkNs > 0 {
+		host := latest.WalkNsPerRow / freshWalkNs // >1 on a faster host
+		floor := rec.RowsPerSec * host / serveGuardSlack
+		if freshPt.RowsPerSec < floor {
+			fail("serving throughput regression: %.0f rows/s < %.0f (recorded %.0f x host %.2f / slack %.1f)",
+				freshPt.RowsPerSec, floor, rec.RowsPerSec, host, serveGuardSlack)
+		}
+		if rec.P99Micros > 0 && freshPt.P99Micros > rec.P99Micros/host*serveGuardP99Factor {
+			fail("serving p99 regression: %.0fµs vs recorded %.0fµs x %.0f / host %.2f",
+				freshPt.P99Micros, rec.P99Micros, serveGuardP99Factor, host)
+		}
+	}
+	return errs
+}
+
+func latestServeRun(traj *ServeTrajectory) *ServeRun {
+	if len(traj.Runs) == 0 {
+		return nil
+	}
+	return &traj.Runs[len(traj.Runs)-1]
+}
+
+// writeServeArtifact dumps the per-point latency distributions to
+// SERVE_ARTIFACT_DIR (CI uploads it on guard failure) so a tripped gate
+// leaves the full histogram behind, not just the two percentiles.
+func writeServeArtifact(points []ServePoint, lats [][]time.Duration) error {
+	dir := os.Getenv("SERVE_ARTIFACT_DIR")
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	type pointArtifact struct {
+		Point        ServePoint `json:"point"`
+		BucketEdgeUs []float64  `json:"bucket_edge_us"`
+		Counts       []int      `json:"counts"`
+	}
+	var arts []pointArtifact
+	edges := []float64{100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 50_000, 100_000, 1_000_000}
+	for i, pt := range points {
+		counts := make([]int, len(edges)+1)
+		for _, l := range lats[i] {
+			us := float64(l.Microseconds())
+			b := sort.SearchFloat64s(edges, us)
+			counts[b]++
+		}
+		arts = append(arts, pointArtifact{Point: pt, BucketEdgeUs: edges, Counts: counts})
+	}
+	data, err := json.MarshalIndent(arts, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "serve_latency.json"), append(data, '\n'), 0o644)
+}
+
+// ServeGuard runs and prints GUARD-SERVE, the CI regression gate for the
+// inference server. It verifies bit-identical labels through the real HTTP
+// path, then re-measures the load points and holds them to the recorded
+// trajectory; see serveChecks. On failure the latency distributions land
+// in SERVE_ARTIFACT_DIR for CI to upload.
+func ServeGuard(w io.Writer, dir string) error {
+	fmt.Fprintln(w, "GUARD-SERVE — HTTP inference serving vs the recorded trajectory")
+	fix, err := getServeFixture()
+	if err != nil {
+		return err
+	}
+	traj, err := loadServeTrajectory(filepath.Join(dir, ServeFile))
+	if err != nil {
+		return err
+	}
+
+	sb, err := startServeBench(fix, 64)
+	if err != nil {
+		return err
+	}
+	diffErr := serveDifferential(w, sb)
+	sb.stop()
+	if diffErr != nil {
+		return diffErr
+	}
+
+	freshWalkNs := serveWalkProbe(fix)
+	points, lats, err := measureServe(w, fix)
+	if err != nil {
+		return err
+	}
+	if errs := serveChecks(points, freshWalkNs, traj); len(errs) > 0 {
+		if aerr := writeServeArtifact(points, lats); aerr != nil {
+			errs = append(errs, fmt.Errorf("writing latency artifact: %w", aerr))
+		}
+		return errors.Join(errs...)
+	}
+	fmt.Fprintf(w, "ok: labels identical over HTTP, throughput and latency within gates (%d load shapes)\n", len(points))
+	return nil
+}

@@ -1,0 +1,8 @@
+package infer
+
+// ScratchBalance exposes the scratch pool's get/put counters so the
+// regression tests can pin the acquire-after-validation discipline: a
+// leaked early-error path shows up as gets > puts.
+func ScratchBalance() (gets, puts int64) {
+	return scratchGets.Load(), scratchPuts.Load()
+}

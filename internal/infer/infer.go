@@ -27,6 +27,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 )
@@ -80,6 +81,42 @@ type Model struct {
 	subset []uint64
 	leaves int
 	depth  int
+	// scratch pools the hoisted column-accessor pair PredictTableInto
+	// builds per call, so steady-state table prediction allocates
+	// nothing. Discipline: acquire only after every validation that can
+	// return an error — an early return between get and put would strand
+	// the buffers (the pool-balance regression tests pin this).
+	scratch sync.Pool
+}
+
+// tableScratch is one pooled accessor pair, sized to the model's schema.
+type tableScratch struct {
+	cont [][]float64
+	cat  [][]int32
+}
+
+// scratchGets and scratchPuts count pool traffic across all models; the
+// regression tests assert they stay balanced, i.e. no code path acquires
+// scratch and error-returns without releasing it.
+var scratchGets, scratchPuts atomic.Int64
+
+func (m *Model) getScratch() *tableScratch {
+	scratchGets.Add(1)
+	if s, ok := m.scratch.Get().(*tableScratch); ok {
+		return s
+	}
+	n := m.schema.NumAttrs()
+	return &tableScratch{cont: make([][]float64, n), cat: make([][]int32, n)}
+}
+
+func (m *Model) putScratch(s *tableScratch) {
+	// Columns belong to the caller's table; do not pin them past the call.
+	for i := range s.cont {
+		s.cont[i] = nil
+		s.cat[i] = nil
+	}
+	scratchPuts.Add(1)
+	m.scratch.Put(s)
 }
 
 // Stats describes a compiled model's footprint.
@@ -111,36 +148,42 @@ func (m *Model) Predict(row []float64) int {
 	i := int32(0)
 	for {
 		nd := &nodes[i]
-		k := nd.kind()
-		if k == nodeLeaf {
+		if nd.kind() == nodeLeaf {
 			return int(nd.payload())
 		}
-		v := row[nd.payload()]
-		switch k {
-		case nodeCont:
-			switch {
-			case v != v:
-				i = nd.dflt
-			case v <= math.Float64frombits(nd.aux):
-				i = nd.first
-			default:
-				i = nd.first + 1
-			}
-		case nodeSubset:
-			if !(v >= 0 && v < float64(nd.ncard)) {
-				i = nd.dflt
-			} else if c := int32(v); m.subset[nd.aux+uint64(c>>6)]&(1<<(uint(c)&63)) != 0 {
-				i = nd.first
-			} else {
-				i = nd.first + 1
-			}
-		default: // nodeMway
-			if !(v >= 0 && v < float64(nd.ncard)) {
-				i = nd.dflt
-			} else {
-				i = nd.first + int32(v)
-			}
+		i = m.route(nd, row[nd.payload()])
+	}
+}
+
+// route returns the child index value v descends to from internal node nd:
+// the single untrusted-value routing rule, shared by Predict and the
+// row-major batch kernel so their answers cannot drift apart. NaN and
+// out-of-domain categorical values take the majority branch (nd.dflt),
+// mirroring tree.Node.childFor.
+func (m *Model) route(nd *node, v float64) int32 {
+	switch nd.kind() {
+	case nodeCont:
+		switch {
+		case v != v:
+			return nd.dflt
+		case v <= math.Float64frombits(nd.aux):
+			return nd.first
+		default:
+			return nd.first + 1
 		}
+	case nodeSubset:
+		if !(v >= 0 && v < float64(nd.ncard)) {
+			return nd.dflt
+		}
+		if c := int32(v); m.subset[nd.aux+uint64(c>>6)]&(1<<(uint(c)&63)) != 0 {
+			return nd.first
+		}
+		return nd.first + 1
+	default: // nodeMway
+		if !(v >= 0 && v < float64(nd.ncard)) {
+			return nd.dflt
+		}
+		return nd.first + int32(v)
 	}
 }
 
@@ -164,9 +207,10 @@ func (m *Model) PredictTableInto(tab *dataset.Table, out []int) error {
 		return fmt.Errorf("infer: out has %d slots for %d rows", len(out), tab.NumRows())
 	}
 	// Hoist the column accessors once: the batch kernel indexes raw
-	// columns, never Table.Value.
-	cont := make([][]float64, tab.Schema.NumAttrs())
-	cat := make([][]int32, tab.Schema.NumAttrs())
+	// columns, never Table.Value. The accessor pair is pooled (every
+	// error return is above this line; see Model.scratch).
+	sc := m.getScratch()
+	cont, cat := sc.cont, sc.cat
 	for a := range tab.Schema.Attrs {
 		if tab.Schema.Attrs[a].Kind == dataset.Continuous {
 			cont[a] = tab.ContColumn(a)
@@ -179,6 +223,7 @@ func (m *Model) PredictTableInto(tab *dataset.Table, out []int) error {
 	workers := runtime.GOMAXPROCS(0)
 	if rows < minParallelRows || workers < 2 {
 		m.predictRange(cont, cat, out, 0, rows)
+		m.putScratch(sc)
 		return nil
 	}
 	var wg sync.WaitGroup
@@ -194,6 +239,7 @@ func (m *Model) PredictTableInto(tab *dataset.Table, out []int) error {
 		}(lo, hi)
 	}
 	wg.Wait()
+	m.putScratch(sc)
 	return nil
 }
 

@@ -1,0 +1,65 @@
+package infer
+
+import "fmt"
+
+// PredictRows classifies row-major records (each row in the
+// dataset.AppendRow value convention) and returns the labels.
+func (m *Model) PredictRows(rows [][]float64) ([]int, error) {
+	out := make([]int, len(rows))
+	if err := m.PredictRowsInto(rows, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictRowsInto classifies row-major records into out, which must have
+// one slot per row. The storage is caller-owned — nothing is retained —
+// which is what a serving micro-batcher needs: it coalesces decoded
+// request rows into one slice-of-rows and answers a whole batch from a
+// single call, with its own pooled buffers on both sides.
+//
+// Unlike table columns (AppendRow rejects non-finite values), serving rows
+// are untrusted: NaN continuous values and out-of-domain categorical codes
+// are routed to the compile-time-resolved majority branch, exactly as
+// Predict and the pointer walker do, so batched answers stay bit-identical
+// to the oracle. Rows walk the flat table in the same level-synchronous
+// batchRows cursor groups as the column kernel.
+func (m *Model) PredictRowsInto(rows [][]float64, out []int) error {
+	if len(out) != len(rows) {
+		return fmt.Errorf("infer: out has %d slots for %d rows", len(out), len(rows))
+	}
+	nattrs := m.schema.NumAttrs()
+	for i, r := range rows {
+		if len(r) != nattrs {
+			return fmt.Errorf("infer: row %d has %d values; schema has %d attributes", i, len(r), nattrs)
+		}
+	}
+	nodes := m.nodes
+	var cur, rid [batchRows]int32
+	for base := 0; base < len(rows); base += batchRows {
+		n := len(rows) - base
+		if n > batchRows {
+			n = batchRows
+		}
+		for i := 0; i < n; i++ {
+			cur[i] = 0
+			rid[i] = int32(base + i)
+		}
+		for active := n; active > 0; {
+			w := 0
+			for i := 0; i < active; i++ {
+				nd := &nodes[cur[i]]
+				r := rid[i]
+				if nd.kind() == nodeLeaf {
+					out[r] = int(nd.payload())
+					continue
+				}
+				cur[w] = m.route(nd, rows[r][nd.payload()])
+				rid[w] = r
+				w++
+			}
+			active = w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/infer"
+)
+
+// batcher coalesces single rows from concurrent requests into the compiled
+// engine's batches: a channel-fanout worker pool where each flusher blocks
+// for a first row, then gathers until the batch reaches maxBatch rows or
+// maxWait elapses — whichever is first — and answers the whole batch from
+// one PredictRowsInto call over pooled buffers.
+//
+// One batcher belongs to one cache entry (one model version): a flush can
+// never mix versions, and the version's refcount drain (every request
+// holds a cache reference from decode to response) guarantees the queue is
+// empty and all flushes complete before Close runs. The batcher therefore
+// never drops rows on shutdown.
+type batcher struct {
+	model    *infer.Model
+	q        chan rowReq
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	maxBatch int
+	maxWait  time.Duration
+	stats    *Stats
+}
+
+// rowReq is one row awaiting prediction: the decoded values, the slot in
+// its request's result slice, and the completion state shared by the
+// request's rows. Responses are assembled positionally — rows of one
+// request keep their order no matter how flushes interleave.
+type rowReq struct {
+	row  []float64
+	slot int
+	call *call
+}
+
+// call is one request's completion state.
+type call struct {
+	out     []int
+	pending atomic.Int64
+	err     atomic.Pointer[error]
+	done    chan struct{}
+}
+
+func (c *call) finish(n int64) {
+	if c.pending.Add(-n) == 0 {
+		close(c.done)
+	}
+}
+
+func newBatcher(m *infer.Model, workers, maxBatch int, maxWait time.Duration, stats *Stats) *batcher {
+	b := &batcher{
+		model:    m,
+		q:        make(chan rowReq, 4*maxBatch),
+		stop:     make(chan struct{}),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		stats:    stats,
+	}
+	b.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go b.flusher()
+	}
+	return b
+}
+
+// close stops the flushers. Only called from the owning cache entry's
+// drain hook, i.e. when no request holds the version: the queue is
+// provably empty and every flush has completed.
+func (b *batcher) close() {
+	close(b.stop)
+	b.wg.Wait()
+}
+
+// depth returns the number of rows queued but not yet picked up.
+func (b *batcher) depth() int { return len(b.q) }
+
+// predictInto enqueues the rows and blocks until the batch flushes that
+// carry them complete, writing one label per row into out. A context
+// cancelled mid-enqueue abandons the unenqueued tail but still waits for
+// rows already queued (they hold slots in out and flushers will write
+// them).
+func (b *batcher) predictInto(ctx context.Context, rows [][]float64, out []int) error {
+	if len(out) != len(rows) {
+		return fmt.Errorf("serve: out has %d slots for %d rows", len(out), len(rows))
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	c := &call{out: out, done: make(chan struct{})}
+	c.pending.Store(int64(len(rows)))
+	for i, r := range rows {
+		select {
+		case b.q <- rowReq{row: r, slot: i, call: c}:
+		case <-ctx.Done():
+			c.finish(int64(len(rows) - i))
+			<-c.done
+			return ctx.Err()
+		}
+	}
+	<-c.done
+	if ep := c.err.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// flusher is one worker of the fanout pool. Its scratch (the gathered
+// batch, the row-pointer view, and the output slice) is allocated once and
+// reused for the worker's lifetime.
+func (b *batcher) flusher() {
+	defer b.wg.Done()
+	batch := make([]rowReq, 0, b.maxBatch)
+	rows := make([][]float64, 0, b.maxBatch)
+	out := make([]int, b.maxBatch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first rowReq
+		select {
+		case first = <-b.q:
+		case <-b.stop:
+			return
+		}
+		batch = append(batch[:0], first)
+		// The deadline covers the gather only: the first row waits at
+		// most maxWait here before its batch starts predicting.
+		timer.Reset(b.maxWait)
+		fired := false
+	gather:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.q:
+				batch = append(batch, r)
+			case <-timer.C:
+				fired = true
+				break gather
+			}
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
+		b.flush(batch, rows, out)
+	}
+}
+
+// flush answers one gathered batch: a single engine call, then positional
+// scatter of the labels into each request's result slice.
+func (b *batcher) flush(batch []rowReq, rows [][]float64, out []int) {
+	rows = rows[:0]
+	for i := range batch {
+		rows = append(rows, batch[i].row)
+	}
+	o := out[:len(batch)]
+	err := b.model.PredictRowsInto(rows, o)
+	b.stats.recordBatch(len(batch), len(batch) == b.maxBatch)
+	if err != nil {
+		b.stats.PredictErrors.Add(1)
+	}
+	for i := range batch {
+		c := batch[i].call
+		if err != nil {
+			c.err.Store(&err)
+		} else {
+			c.out[batch[i].slot] = o[i]
+		}
+		c.finish(1)
+	}
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/tree"
+)
+
+// TestBatcherProperties drives the micro-batcher directly (no HTTP) with
+// randomized arrival patterns and checks the structural invariants the
+// server relies on, for every pattern testing/quick generates:
+//
+//   - no flush ever exceeds maxBatch rows
+//   - no flush is empty
+//   - row conservation: every enqueued row is flushed exactly once
+//   - per-request FIFO: out[i] always answers rows[i] (positional scatter),
+//     checked against the walker oracle bit-for-bit
+func TestBatcherProperties(t *testing.T) {
+	tr, tab := trainedServeFixture(t, 2000)
+	m, err := infer.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make([]int, tab.NumRows())
+	for r := range oracle {
+		oracle[r] = tr.Predict(tab.Row(r))
+	}
+
+	property := func(seed int64, maxBatchRaw uint8, nCallsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maxBatch := 1 + int(maxBatchRaw)%16 // small caps make full flushes reachable
+		nCalls := 2 + int(nCallsRaw)%10
+		stats := &Stats{}
+		b := newBatcher(m, 2, maxBatch, 500*time.Microsecond, stats)
+
+		total := 0
+		var wg sync.WaitGroup
+		okAll := true
+		var mu sync.Mutex
+		for c := 0; c < nCalls; c++ {
+			n := 1 + rng.Intn(3*maxBatch)
+			total += n
+			idx := make([]int, n)
+			rows := make([][]float64, n)
+			for i := range rows {
+				idx[i] = rng.Intn(tab.NumRows())
+				rows[i] = tab.Row(idx[i])
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := make([]int, len(rows))
+				if err := b.predictInto(context.Background(), rows, out); err != nil {
+					mu.Lock()
+					okAll = false
+					mu.Unlock()
+					return
+				}
+				for i := range out {
+					if out[i] != oracle[idx[i]] {
+						mu.Lock()
+						okAll = false
+						mu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.close()
+
+		if !okAll {
+			t.Logf("seed %d: wrong or failed prediction", seed)
+			return false
+		}
+		if got := stats.BatchRows.Load(); got != int64(total) {
+			t.Logf("seed %d: %d rows enqueued, %d flushed", seed, total, got)
+			return false
+		}
+		if mx := stats.MaxBatchRows.Load(); mx > int64(maxBatch) {
+			t.Logf("seed %d: flush of %d rows exceeds cap %d", seed, mx, maxBatch)
+			return false
+		}
+		if mn := stats.MinBatchRows.Load(); mn < 1 {
+			t.Logf("seed %d: empty flush recorded (min %d)", seed, mn)
+			return false
+		}
+		if stats.Batches.Load() < int64(nCalls)/int64(maxBatch) {
+			t.Logf("seed %d: impossibly few batches", seed)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherDeadlineBound pins the latency contract on a quiet server: a
+// lone row cannot wait for 511 friends — the deadline flush answers it in
+// roughly BatchWait, far below the time a full batch would need to gather.
+// The epsilon absorbs scheduler and race-detector overhead, not batching.
+func TestBatcherDeadlineBound(t *testing.T) {
+	tr, tab := trainedServeFixture(t, 500)
+	m, err := infer.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wait = 2 * time.Millisecond
+	b := newBatcher(m, 2, 512, wait, &Stats{})
+	defer b.close()
+
+	for trial := 0; trial < 5; trial++ {
+		out := make([]int, 1)
+		start := time.Now()
+		if err := b.predictInto(context.Background(), rows2(tab.Row(trial)), out); err != nil {
+			t.Fatal(err)
+		}
+		if el := time.Since(start); el > wait+300*time.Millisecond {
+			t.Fatalf("trial %d: lone row took %v; deadline is %v", trial, el, wait)
+		}
+		if want := tr.Predict(tab.Row(trial)); out[0] != want {
+			t.Fatalf("trial %d: got %d, oracle %d", trial, out[0], want)
+		}
+	}
+}
+
+// TestBatcherContextCancel checks a cancelled request neither hangs nor
+// corrupts the queue: rows already enqueued are still flushed, the call
+// returns the context error, and the batcher keeps serving others.
+func TestBatcherContextCancel(t *testing.T) {
+	tr, tab := trainedServeFixture(t, 500)
+	m, err := infer.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &Stats{}
+	// One slow flusher with a tiny queue so enqueue can actually block.
+	b := &batcher{
+		model:    m,
+		q:        make(chan rowReq, 1),
+		stop:     make(chan struct{}),
+		maxBatch: 4,
+		maxWait:  time.Millisecond,
+		stats:    stats,
+	}
+	b.wg.Add(1)
+	go b.flusher()
+	defer b.close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = tab.Row(i)
+	}
+	out := make([]int, len(rows))
+	if err := b.predictInto(ctx, rows, out); err != context.Canceled {
+		t.Fatalf("cancelled enqueue returned %v, want context.Canceled", err)
+	}
+
+	// The batcher still works for a live request afterwards.
+	out1 := make([]int, 1)
+	if err := b.predictInto(context.Background(), rows2(tab.Row(9)), out1); err != nil {
+		t.Fatal(err)
+	}
+	if want := tr.Predict(tab.Row(9)); out1[0] != want {
+		t.Fatalf("post-cancel row: got %d, oracle %d", out1[0], want)
+	}
+}
+
+func trainedServeFixture(t testing.TB, n int) (*tree.Tree, *dataset.Table) {
+	t.Helper()
+	return trainTree(t, 1, n, 0)
+}

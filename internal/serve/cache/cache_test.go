@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/infer"
+	"repro/internal/serial"
+	"repro/internal/splitter"
+	"repro/internal/tree"
+)
+
+func testModel(t testing.TB, seed int64) (*tree.Tree, *infer.Model) {
+	t.Helper()
+	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: seed}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := serial.Train(tab, splitter.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := infer.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m
+}
+
+func TestStoreAcquireRelease(t *testing.T) {
+	c := New(4)
+	tr, m := testModel(t, 1)
+	if v := c.Store(c.NewEntry("m", tr, m)); v != 1 {
+		t.Fatalf("first Store version = %d, want 1", v)
+	}
+	e, ok := c.Acquire("m")
+	if !ok || e.Version != 1 || e.Tree != tr || e.Model != m {
+		t.Fatalf("Acquire = %+v, %v", e, ok)
+	}
+	if e.Hits() != 1 || e.Refs() != 2 {
+		t.Fatalf("hits=%d refs=%d, want 1 and 2", e.Hits(), e.Refs())
+	}
+	e.Release()
+	if _, ok := c.Acquire("missing"); ok {
+		t.Fatal("Acquire of a missing name succeeded")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestSwapDrainsOldVersionByRefcount(t *testing.T) {
+	c := New(4)
+	tr1, m1 := testModel(t, 1)
+	tr2, m2 := testModel(t, 2)
+	c.Store(c.NewEntry("m", tr1, m1))
+
+	old, _ := c.Acquire("m") // an in-flight batch holds version 1
+	hookRan := atomic.Bool{}
+	// Hooks must be registered pre-Store; simulate by storing v2 with one.
+	e2 := c.NewEntry("m", tr2, m2)
+	e2.OnDrain(func() { hookRan.Store(true) })
+	if v := c.Store(e2); v != 2 {
+		t.Fatalf("second Store version = %d, want 2", v)
+	}
+
+	// The old version is retired but not drained while a holder remains.
+	select {
+	case <-old.Drained():
+		t.Fatal("old version drained while still held")
+	default:
+	}
+	if got, _ := c.Acquire("m"); got.Version != 2 {
+		t.Fatalf("Acquire after swap = version %d, want 2", got.Version)
+	} else {
+		got.Release()
+	}
+
+	old.Release()
+	select {
+	case <-old.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("old version never drained after last release")
+	}
+	if c.Retired() != 1 {
+		t.Fatalf("Retired = %d, want 1", c.Retired())
+	}
+
+	// Version 2's hook runs only when IT drains (on delete here).
+	if hookRan.Load() {
+		t.Fatal("new version's drain hook ran early")
+	}
+	if !c.Delete("m") {
+		t.Fatal("Delete failed")
+	}
+	select {
+	case <-e2.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("deleted version never drained")
+	}
+	if !hookRan.Load() {
+		t.Fatal("drain hook did not run")
+	}
+	if c.Delete("m") {
+		t.Fatal("second Delete reported success")
+	}
+}
+
+// TestConcurrentSwapAndAcquire hammers one name with concurrent acquirers
+// and swappers under the race detector: every acquired entry must be fully
+// formed, versions must be monotonic per acquirer, and every retired
+// version must eventually drain exactly once.
+func TestConcurrentSwapAndAcquire(t *testing.T) {
+	c := New(2)
+	tr, m := testModel(t, 1)
+	drains := atomic.Int64{}
+	store := func() {
+		e := c.NewEntry("m", tr, m)
+		e.OnDrain(func() { drains.Add(1) })
+		c.Store(e)
+	}
+	store()
+
+	const acquirers, swaps = 8, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < acquirers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e, ok := c.Acquire("m")
+				if !ok {
+					t.Error("live name missing")
+					return
+				}
+				if e.Tree == nil || e.Model == nil || e.Version < last {
+					t.Errorf("torn or regressed entry: %+v after version %d", e, last)
+				}
+				last = e.Version
+				e.Release()
+			}
+		}()
+	}
+	for i := 0; i < swaps; i++ {
+		store()
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	c.Delete("m")
+
+	deadline := time.After(2 * time.Second)
+	for drains.Load() != swaps+1 {
+		select {
+		case <-deadline:
+			t.Fatalf("drained %d versions, want %d", drains.Load(), swaps+1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestShardingAndRange(t *testing.T) {
+	c := New(8)
+	tr, m := testModel(t, 1)
+	const names = 64
+	for i := 0; i < names; i++ {
+		c.Store(c.NewEntry(fmt.Sprintf("model-%d", i), tr, m))
+	}
+	if c.Len() != names {
+		t.Fatalf("Len = %d, want %d", c.Len(), names)
+	}
+	// Names must actually spread over shards (FNV-1a over distinct names).
+	used := 0
+	for i := range c.shards {
+		if len(c.shards[i].m) > 0 {
+			used++
+		}
+	}
+	if used < 4 {
+		t.Fatalf("%d names landed in only %d/8 shards", names, used)
+	}
+	seen := map[string]bool{}
+	c.Range(func(e *Entry) {
+		if seen[e.Name] {
+			t.Fatalf("Range visited %q twice", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Refs() < 2 {
+			t.Fatalf("Range entry %q visited without a held reference", e.Name)
+		}
+	})
+	if len(seen) != names {
+		t.Fatalf("Range visited %d entries, want %d", len(seen), names)
+	}
+}

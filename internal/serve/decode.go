@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// reqBuf is one request's pooled row storage: a flat backing array chunked
+// into rows (the dataset.AppendRow value convention) plus the label output
+// slice. Buffers flow through a sync.Pool with always-on get/put counters
+// in Stats — the decode-failure regression test asserts the balance, so a
+// 400 path that forgets to release shows up as a counter gap, not a silent
+// slow leak.
+type reqBuf struct {
+	flat []float64
+	rows [][]float64
+	out  []int
+}
+
+var reqBufPool = sync.Pool{New: func() any { return new(reqBuf) }}
+
+func (s *Server) getBuf() *reqBuf {
+	s.stats.BufGets.Add(1)
+	return reqBufPool.Get().(*reqBuf)
+}
+
+func (s *Server) putBuf(b *reqBuf) {
+	b.flat = b.flat[:0]
+	b.rows = b.rows[:0]
+	b.out = b.out[:0]
+	s.stats.BufPuts.Add(1)
+	reqBufPool.Put(b)
+}
+
+// addRow carves the next nattrs-wide row out of the flat backing and
+// returns it. A growth of flat strands earlier rows on the old backing
+// array, which is harmless — each row slice stays self-consistent — and
+// stops happening once the pooled buffer has warmed to the traffic's
+// request sizes.
+func (b *reqBuf) addRow(nattrs int) []float64 {
+	lo := len(b.flat)
+	for i := 0; i < nattrs; i++ {
+		b.flat = append(b.flat, 0)
+	}
+	b.rows = append(b.rows, b.flat[lo:lo+nattrs])
+	return b.rows[len(b.rows)-1]
+}
+
+// decodeError is a 400-class request problem (anything malformed in the
+// body); other error types from the decoders indicate server-side limits.
+type decodeError struct{ msg string }
+
+func (e *decodeError) Error() string { return e.msg }
+
+func badReqf(format string, args ...any) error {
+	return &decodeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// jsonRequest is the JSON body shape: either "rows" (a group) or "row" (a
+// single record), values in schema attribute order. Continuous attributes
+// take numbers; categorical attributes take either the domain value's
+// string name or its integral index.
+type jsonRequest struct {
+	Rows [][]any `json:"rows"`
+	Row  []any   `json:"row"`
+}
+
+// decodeJSONRows parses an application/json prediction body into buf.
+// Every malformed shape returns a *decodeError (HTTP 400); the decoder
+// never panics — FuzzServeRequest hammers exactly this contract. Note JSON
+// cannot express NaN/Inf, so continuous values here are always finite; the
+// CSV path below is the one that can produce non-finite values.
+func decodeJSONRows(body []byte, sc *dataset.Schema, catIndex []map[string]int, maxRows int, buf *reqBuf) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	var req jsonRequest
+	if err := dec.Decode(&req); err != nil {
+		return badReqf("invalid JSON body: %v", err)
+	}
+	if req.Rows != nil && req.Row != nil {
+		return badReqf(`body sets both "rows" and "row"`)
+	}
+	rows := req.Rows
+	if req.Row != nil {
+		rows = [][]any{req.Row}
+	}
+	if len(rows) == 0 {
+		return badReqf(`body has no rows (use "rows" or "row")`)
+	}
+	if len(rows) > maxRows {
+		return badReqf("%d rows exceeds the per-request limit %d", len(rows), maxRows)
+	}
+	nattrs := sc.NumAttrs()
+	for r, in := range rows {
+		if len(in) != nattrs {
+			return badReqf("row %d has %d values; schema has %d attributes", r, len(in), nattrs)
+		}
+		row := buf.addRow(nattrs)
+		for a, v := range in {
+			val, err := convertJSONValue(v, sc, catIndex, a)
+			if err != nil {
+				return badReqf("row %d attribute %q: %v", r, sc.Attrs[a].Name, err)
+			}
+			row[a] = val
+		}
+	}
+	return nil
+}
+
+// convertJSONValue maps one JSON value to the Table convention for
+// attribute a: continuous → the number itself; categorical → the domain
+// index of a string name, or a number that must be an integral in-domain
+// index (out-of-domain numeric codes are rejected here, mirroring
+// dataset.AppendRow's validation — the majority-branch engine fallback is
+// for values that slip past decoding, not a license to accept garbage).
+func convertJSONValue(v any, sc *dataset.Schema, catIndex []map[string]int, a int) (float64, error) {
+	attr := &sc.Attrs[a]
+	if attr.Kind == dataset.Continuous {
+		f, ok := v.(float64)
+		if !ok {
+			return 0, fmt.Errorf("want a number, got %T", v)
+		}
+		return f, nil
+	}
+	switch x := v.(type) {
+	case string:
+		idx, ok := catIndex[a][x]
+		if !ok {
+			return 0, fmt.Errorf("unknown value %q", x)
+		}
+		return float64(idx), nil
+	case float64:
+		if x != float64(int(x)) || x < 0 || int(x) >= attr.Cardinality() {
+			return 0, fmt.Errorf("categorical index %v out of range [0,%d)", x, attr.Cardinality())
+		}
+		return x, nil
+	default:
+		return 0, fmt.Errorf("want a value name or index, got %T", v)
+	}
+}
+
+// decodeCSVRows parses a text/csv prediction body into buf: a header row
+// naming the schema's attributes (no class column — these are unlabeled
+// serving rows, unlike dataset.ReadCSV's training format), then one record
+// per line. Parsing reuses the schema conventions of dataset/csv.go:
+// continuous values via ParseFloat (which admits "NaN"/"Inf" — those are
+// served through the engine's majority-branch routing, pinned bit-equal to
+// the walker), categorical values by domain name.
+func decodeCSVRows(body []byte, sc *dataset.Schema, catIndex []map[string]int, maxRows int, buf *reqBuf) error {
+	cr := csv.NewReader(bytes.NewReader(body))
+	nattrs := sc.NumAttrs()
+	cr.FieldsPerRecord = nattrs
+	header, err := cr.Read()
+	if err != nil {
+		return badReqf("reading CSV header: %v", err)
+	}
+	for a, attr := range sc.Attrs {
+		if header[a] != attr.Name {
+			return badReqf("CSV column %d is %q; schema expects %q", a, header[a], attr.Name)
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return badReqf("reading CSV: %v", err)
+		}
+		if len(buf.rows) >= maxRows {
+			return badReqf("more than %d rows in one request", maxRows)
+		}
+		row := buf.addRow(nattrs)
+		for a := range sc.Attrs {
+			if sc.Attrs[a].Kind == dataset.Continuous {
+				v, err := strconv.ParseFloat(rec[a], 64)
+				if err != nil {
+					line, _ := cr.FieldPos(a)
+					return badReqf("line %d attribute %q: %v", line, sc.Attrs[a].Name, err)
+				}
+				row[a] = v
+			} else {
+				idx, ok := catIndex[a][rec[a]]
+				if !ok {
+					line, _ := cr.FieldPos(a)
+					return badReqf("line %d attribute %q: unknown value %q", line, sc.Attrs[a].Name, rec[a])
+				}
+				row[a] = float64(idx)
+			}
+		}
+	}
+	if len(buf.rows) == 0 {
+		return badReqf("CSV body has no data rows")
+	}
+	return nil
+}
+
+// buildCatIndex precomputes the per-attribute name→index maps once per
+// stored model version (they ride on the cache entry's payload), so the
+// request decoders never rebuild them.
+func buildCatIndex(sc *dataset.Schema) []map[string]int {
+	idx := make([]map[string]int, len(sc.Attrs))
+	for a, attr := range sc.Attrs {
+		if attr.Kind != dataset.Categorical {
+			continue
+		}
+		m := make(map[string]int, len(attr.Values))
+		for i, v := range attr.Values {
+			m[v] = i
+		}
+		idx[a] = m
+	}
+	return idx
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// fuzzServer is a process-wide server fixture: fuzzing spawns many workers
+// and training a fresh tree per exec would drown the fuzzer in setup.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzFixture(t testing.TB) *Server {
+	fuzzOnce.Do(func() {
+		fuzzSrv = New(Config{MaxRowsPerRequest: 64, MaxBodyBytes: 1 << 16})
+		tr, _ := trainTree(t, 1, 1500, 0)
+		if _, err := fuzzSrv.SetModel("m", tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return fuzzSrv
+}
+
+// FuzzServeRequest throws arbitrary bodies at POST /predict — hostile JSON,
+// NaN and out-of-domain values, truncated CSV, binary garbage — and pins
+// the hard contract: the handler answers 200, 400, 404 or 413 and NEVER
+// panics; every 200 carries exactly one in-range class index per input row,
+// each bit-equal to the walker oracle on the decoded rows.
+func FuzzServeRequest(f *testing.F) {
+	s := fuzzFixture(f)
+	tr, _, _ := s.Model("m")
+
+	f.Add([]byte(`{"rows": [[50000,10000,30,2,200000,10,5000]]}`), false, "m")
+	f.Add([]byte(`{"row": [50000,10000,30,"e2",200000,10,5000]}`), false, "m")
+	f.Add([]byte(`{"rows": [[1,2,3,4,5,6,7],[7,6,5,4,3,2,1]]}`), false, "m")
+	f.Add([]byte("salary,commission,age,elevel,hvalue,hyears,loan\n50000,0,44,e1,100000,5,0\n"), true, "m")
+	f.Add([]byte("salary,commission,age,elevel,hvalue,hyears,loan\nNaN,Inf,-Inf,e0,1e308,-0,0\n"), true, "m")
+	f.Add([]byte("salary,commission,age,elevel,hvalue,hyears,loan\n1,2,3,weird,5,6,7\n"), true, "m")
+	f.Add([]byte("salary,commission\n1,2\n"), true, "m")
+	f.Add([]byte(`{"rows": [[1e999,2,3,4,5,6,7]]}`), false, "m")
+	f.Add([]byte(`{"rows": `), false, "m")
+	f.Add([]byte{0xff, 0xfe, 0x00}, true, "m")
+	f.Add([]byte(`{"row": []}`), false, "ghost")
+
+	f.Fuzz(func(t *testing.T, body []byte, csv bool, model string) {
+		ct := "application/json"
+		if csv {
+			ct = "text/csv"
+		}
+		req := httptest.NewRequest(http.MethodPost, "/predict/"+sanitizePath(model), bytes.NewReader(body))
+		req.Header.Set("Content-Type", ct)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req) // a panic fails the fuzz exec
+
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusRequestEntityTooLarge:
+			return
+		default:
+			t.Fatalf("status %d for body %q (csv=%v); want 200/400/404/413", rec.Code, body, csv)
+		}
+
+		// 200: re-decode the body white-box and hold the response to the
+		// oracle. The decode must succeed (the server just did it).
+		var pr predictResponse
+		if err := json.NewDecoder(rec.Body).Decode(&pr); err != nil {
+			t.Fatalf("200 with undecodable response: %v", err)
+		}
+		buf := &reqBuf{}
+		sv, catIndex := tr.Schema, buildCatIndex(tr.Schema)
+		var derr error
+		if csv {
+			derr = decodeCSVRows(body, sv, catIndex, s.cfg.MaxRowsPerRequest, buf)
+		} else {
+			derr = decodeJSONRows(body, sv, catIndex, s.cfg.MaxRowsPerRequest, buf)
+		}
+		if derr != nil {
+			t.Fatalf("server served 200 but body does not decode: %v", derr)
+		}
+		if len(pr.Indices) != len(buf.rows) || len(pr.Classes) != len(buf.rows) {
+			t.Fatalf("%d rows in, %d indices / %d classes out", len(buf.rows), len(pr.Indices), len(pr.Classes))
+		}
+		for i, row := range buf.rows {
+			want := tr.Predict(row)
+			if pr.Indices[i] != want {
+				t.Fatalf("row %d: served %d, walker oracle %d (row %v)", i, pr.Indices[i], want, row)
+			}
+			if pr.Indices[i] < 0 || pr.Indices[i] >= tr.Schema.NumClasses() {
+				t.Fatalf("row %d: class index %d out of range", i, pr.Indices[i])
+			}
+			if pr.Classes[i] != tr.Schema.Classes[want] {
+				t.Fatalf("row %d: class name %q, want %q", i, pr.Classes[i], tr.Schema.Classes[want])
+			}
+		}
+	})
+}
+
+// sanitizePath keeps fuzzed model names from breaking out of the URL path
+// segment (a real client couldn't send those bytes as one segment either).
+func sanitizePath(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c > 0x20 && c < 0x7f && c != '/' && c != '?' && c != '#' && c != '%' {
+			out = append(out, c)
+		}
+	}
+	// "." and ".." are path-cleaned by ServeMux into a 301 before any
+	// handler runs; that redirect is mux canonicalization, not our surface.
+	if len(out) == 0 || string(out) == "." || string(out) == ".." {
+		return "m"
+	}
+	return string(out)
+}

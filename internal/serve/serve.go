@@ -1,0 +1,373 @@
+// Package serve is the production inference server: a long-running HTTP
+// prediction service on top of the compiled batch engine in internal/infer.
+//
+// Requests — single rows or small row groups, JSON or a compact CSV body
+// reusing the internal/dataset schema conventions — land in a
+// bounded-latency micro-batcher (one per model version) that coalesces
+// them into the engine's batches: a flush happens when a batch reaches
+// MaxBatch rows or after BatchWait, whichever is first, and is answered by
+// one PredictRowsInto call over pooled buffers. Multiple named models stay
+// hot behind the sharded, versioned cache in internal/serve/cache;
+// POST /models/{name} hot-swaps a version atomically (upload a serialized
+// tree, or retrain from a labeled CSV via classify), and old versions are
+// drained by refcount so an in-flight batch never sees a torn swap.
+//
+// Endpoints:
+//
+//	POST   /predict/{model}   classify rows (application/json or text/csv)
+//	POST   /models/{name}     upload a tree (JSON) or retrain (text/csv)
+//	GET    /models            list live models
+//	DELETE /models/{name}     remove a model
+//	GET    /healthz           liveness
+//	GET    /stats             counters, batch-size histogram, queue depth
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/classify"
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/serve/cache"
+	"repro/internal/tree"
+)
+
+// Config sizes the server. The zero value selects every default.
+type Config struct {
+	// MaxBatch caps a flush's row count; default 512 (the engine's
+	// level-synchronous batch size — larger batches stop helping).
+	MaxBatch int
+	// BatchWait is the micro-batcher's flush deadline: the longest a row
+	// waits for co-batched company once a flusher picks it up. Default 1ms.
+	BatchWait time.Duration
+	// Workers is the flusher count per model version; default
+	// max(2, GOMAXPROCS).
+	Workers int
+	// Shards is the model cache's shard count; default cache.DefaultShards.
+	Shards int
+	// MaxBodyBytes caps a request body; default 8 MiB.
+	MaxBodyBytes int64
+	// MaxRowsPerRequest caps one request's row group; default 4096.
+	MaxRowsPerRequest int
+	// TrainConfig is the base configuration retrains use (algorithm,
+	// processor count, split mode). The zero value trains serial ScalParC
+	// semantics via classify defaults.
+	TrainConfig classify.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 512
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxRowsPerRequest <= 0 {
+		c.MaxRowsPerRequest = 4096
+	}
+	return c
+}
+
+// served is the per-version payload hung on a cache entry: the version's
+// micro-batcher and the decode indexes precomputed for its schema.
+type served struct {
+	b        *batcher
+	catIndex []map[string]int
+}
+
+// Server is the inference service. Create with New, expose via Handler,
+// and Close when done (drains every model version's batcher).
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	stats *Stats
+	mux   *http.ServeMux
+}
+
+// New creates a server with no models; add them with SetModel or over HTTP.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		cache: cache.New(cfg.Shards),
+		stats: &Stats{},
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /models", s.handleListModels)
+	s.mux.HandleFunc("POST /models/{name}", s.handleStoreModel)
+	s.mux.HandleFunc("DELETE /models/{name}", s.handleDeleteModel)
+	s.mux.HandleFunc("POST /predict/{model}", s.handlePredict)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns the server's live counters (for tests and embedding).
+func (s *Server) Stats() *Stats { return s.stats }
+
+// SetModel compiles the tree and stores it as the newest version of name,
+// returning the version. The entry owns a fresh micro-batcher whose
+// flushers stop when the version drains.
+func (s *Server) SetModel(name string, t *tree.Tree) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("serve: empty model name")
+	}
+	m, err := infer.Compile(t)
+	if err != nil {
+		return 0, err
+	}
+	e := s.cache.NewEntry(name, t, m)
+	b := newBatcher(m, s.cfg.Workers, s.cfg.MaxBatch, s.cfg.BatchWait, s.stats)
+	e.Payload = &served{b: b, catIndex: buildCatIndex(t.Schema)}
+	e.OnDrain(b.close)
+	v := s.cache.Store(e)
+	s.stats.Swaps.Add(1)
+	return v, nil
+}
+
+// Model returns the current version of a model's oracle tree (for tests).
+func (s *Server) Model(name string) (*tree.Tree, int, bool) {
+	e, ok := s.cache.Acquire(name)
+	if !ok {
+		return nil, 0, false
+	}
+	defer e.Release()
+	return e.Tree, e.Version, true
+}
+
+// Close deletes every model, draining each version's batcher. In-flight
+// requests that already acquired an entry finish normally.
+func (s *Server) Close() {
+	var names []string
+	s.cache.Range(func(e *cache.Entry) { names = append(names, e.Name) })
+	for _, n := range names {
+		s.cache.Delete(n)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats.snapshot()
+	s.cache.Range(func(e *cache.Entry) {
+		st := e.Model.Stats()
+		ms := ModelSnapshot{
+			Name:    e.Name,
+			Version: e.Version,
+			Hits:    e.Hits(),
+			Nodes:   st.Nodes,
+			Depth:   st.Depth,
+			Bytes:   st.Bytes,
+		}
+		if sv, ok := e.Payload.(*served); ok {
+			ms.QueueDepth = sv.b.depth()
+		}
+		snap.QueueDepth += ms.QueueDepth
+		snap.Models = append(snap.Models, ms)
+	})
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// modelInfo is one /models listing entry and the store/delete response.
+type modelInfo struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	Nodes   int    `json:"nodes,omitempty"`
+	Classes int    `json:"classes,omitempty"`
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	out := []modelInfo{}
+	s.cache.Range(func(e *cache.Entry) {
+		out = append(out, modelInfo{
+			Model:   e.Name,
+			Version: e.Version,
+			Nodes:   e.Model.Stats().Nodes,
+			Classes: e.Tree.Schema.NumClasses(),
+		})
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStoreModel hot-swaps a model version. application/json bodies are
+// a serialized tree (tree.Encode's format); text/csv bodies are a labeled
+// training table in dataset.WriteCSV's format, parsed against the
+// *existing* version's schema and retrained via classify (query parameter
+// "procs" overrides the simulated processor count).
+func (s *Server) handleStoreModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, status, err := s.readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	var t *tree.Tree
+	if isCSV(r) {
+		old, ok := s.cache.Acquire(name)
+		if !ok {
+			s.stats.NotFound.Add(1)
+			http.Error(w, "retrain-from-CSV needs an existing model to supply the schema; upload a JSON tree first", http.StatusNotFound)
+			return
+		}
+		schema := old.Tree.Schema
+		old.Release()
+		tab, err := dataset.ReadCSV(bytes.NewReader(body), schema)
+		if err != nil {
+			s.stats.DecodeErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg := s.cfg.TrainConfig
+		if p := r.URL.Query().Get("procs"); p != "" {
+			n, err := strconv.Atoi(p)
+			if err != nil || n < 1 {
+				http.Error(w, fmt.Sprintf("invalid procs %q", p), http.StatusBadRequest)
+				return
+			}
+			cfg.Processors = n
+		}
+		model, err := classify.Train(tab, cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		t = model.Tree
+	} else {
+		var err error
+		if t, err = tree.Decode(bytes.NewReader(body)); err != nil {
+			s.stats.DecodeErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	v, err := s.SetModel(name, t)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelInfo{
+		Model: name, Version: v,
+		Nodes: t.NumNodes(), Classes: t.Schema.NumClasses(),
+	})
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.cache.Delete(name) {
+		s.stats.NotFound.Add(1)
+		http.Error(w, fmt.Sprintf("no model %q", name), http.StatusNotFound)
+		return
+	}
+	s.stats.Deletes.Add(1)
+	writeJSON(w, http.StatusOK, modelInfo{Model: name})
+}
+
+// predictResponse is /predict's JSON shape: one class index and one class
+// name per input row, in input order, plus the version that answered —
+// every row of one request is answered by exactly one model version.
+type predictResponse struct {
+	Model   string   `json:"model"`
+	Version int      `json:"version"`
+	Indices []int    `json:"indices"`
+	Classes []string `json:"classes"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.stats.Requests.Add(1)
+	name := r.PathValue("model")
+	body, status, err := s.readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	// The cache reference spans decode through response: the rows are
+	// decoded against this version's schema, batched into this version's
+	// flushers, and the version cannot drain while we hold it.
+	e, ok := s.cache.Acquire(name)
+	if !ok {
+		s.stats.NotFound.Add(1)
+		http.Error(w, fmt.Sprintf("no model %q", name), http.StatusNotFound)
+		return
+	}
+	defer e.Release()
+	sv := e.Payload.(*served)
+
+	buf := s.getBuf()
+	defer s.putBuf(buf)
+	if isCSV(r) {
+		err = decodeCSVRows(body, e.Tree.Schema, sv.catIndex, s.cfg.MaxRowsPerRequest, buf)
+	} else {
+		err = decodeJSONRows(body, e.Tree.Schema, sv.catIndex, s.cfg.MaxRowsPerRequest, buf)
+	}
+	if err != nil {
+		s.stats.DecodeErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.stats.RowsIn.Add(int64(len(buf.rows)))
+
+	for len(buf.out) < len(buf.rows) {
+		buf.out = append(buf.out, 0)
+	}
+	if err := sv.b.predictInto(r.Context(), buf.rows, buf.out[:len(buf.rows)]); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	resp := predictResponse{
+		Model:   name,
+		Version: e.Version,
+		Indices: buf.out[:len(buf.rows)],
+		Classes: make([]string, len(buf.rows)),
+	}
+	for i, c := range resp.Indices {
+		resp.Classes[i] = e.Tree.Schema.Classes[c]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readBody reads a size-capped request body; over-limit bodies get 413.
+func (s *Server) readBody(r *http.Request) ([]byte, int, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		if _, ok := err.(*http.MaxBytesError); ok {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("reading body: %w", err)
+	}
+	return body, 0, nil
+}
+
+func isCSV(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == "text/csv" || ct == "text/csv; charset=utf-8"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,138 @@
+package serve
+
+import "sync/atomic"
+
+// batchHistBuckets is the batch-size histogram's bucket count: bucket 0
+// holds single-row flushes, bucket i holds sizes in (2^(i-1), 2^i], so the
+// last bucket is (256, 512] — full flushes at the default MaxBatch.
+const batchHistBuckets = 10
+
+// Stats accumulates the server's counters. Unlike comm.Stats (whose ranks
+// own their counters single-threaded), every handler and flusher updates
+// these concurrently, so the fields are atomics; Snapshot flattens them
+// for /stats.
+type Stats struct {
+	Requests     atomic.Int64
+	RowsIn       atomic.Int64
+	DecodeErrors atomic.Int64
+	NotFound     atomic.Int64
+
+	Batches         atomic.Int64
+	BatchRows       atomic.Int64
+	MinBatchRows    atomic.Int64 // smallest flush seen (never 0: no empty flushes)
+	MaxBatchRows    atomic.Int64 // largest flush seen (never above MaxBatch)
+	FullFlushes     atomic.Int64 // flushed because the batch hit MaxBatch
+	DeadlineFlushes atomic.Int64 // flushed because BatchWait elapsed
+	PredictErrors   atomic.Int64
+
+	BatchHist [batchHistBuckets]atomic.Int64
+
+	// BufGets/BufPuts track the pooled request-buffer balance. They must
+	// stay equal at rest: a gap means an error path leaked a buffer (the
+	// decode-failure regression test pins this).
+	BufGets atomic.Int64
+	BufPuts atomic.Int64
+
+	Swaps   atomic.Int64 // model versions stored (uploads + retrains)
+	Deletes atomic.Int64
+}
+
+// recordBatch tallies one flush of n rows; full marks a MaxBatch-sized
+// flush (vs a deadline flush).
+func (s *Stats) recordBatch(n int, full bool) {
+	s.Batches.Add(1)
+	s.BatchRows.Add(int64(n))
+	if full {
+		s.FullFlushes.Add(1)
+	} else {
+		s.DeadlineFlushes.Add(1)
+	}
+	for {
+		cur := s.MinBatchRows.Load()
+		if cur != 0 && int64(n) >= cur || s.MinBatchRows.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	for {
+		cur := s.MaxBatchRows.Load()
+		if int64(n) <= cur || s.MaxBatchRows.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	b := 0
+	for 1<<b < n && b < batchHistBuckets-1 {
+		b++
+	}
+	s.BatchHist[b].Add(1)
+}
+
+// StatsSnapshot is the JSON shape of /stats.
+type StatsSnapshot struct {
+	Requests     int64 `json:"requests"`
+	RowsIn       int64 `json:"rows_in"`
+	DecodeErrors int64 `json:"decode_errors"`
+	NotFound     int64 `json:"not_found"`
+
+	Batches         int64   `json:"batches"`
+	BatchRows       int64   `json:"batch_rows"`
+	MeanBatchRows   float64 `json:"mean_batch_rows"`
+	MinBatchRows    int64   `json:"min_batch_rows"`
+	MaxBatchRows    int64   `json:"max_batch_rows"`
+	FullFlushes     int64   `json:"full_flushes"`
+	DeadlineFlushes int64   `json:"deadline_flushes"`
+	PredictErrors   int64   `json:"predict_errors"`
+
+	// BatchSizeHist[i] counts flushes of size in (2^(i-1), 2^i]
+	// (BatchSizeHist[0] counts single-row flushes).
+	BatchSizeHist [batchHistBuckets]int64 `json:"batch_size_hist"`
+
+	BufGets int64 `json:"buf_gets"`
+	BufPuts int64 `json:"buf_puts"`
+
+	Swaps   int64 `json:"swaps"`
+	Deletes int64 `json:"deletes"`
+
+	QueueDepth int `json:"queue_depth"`
+
+	Models []ModelSnapshot `json:"models"`
+}
+
+// ModelSnapshot is one live model's /stats entry.
+type ModelSnapshot struct {
+	Name       string `json:"name"`
+	Version    int    `json:"version"`
+	Hits       int64  `json:"hits"`
+	Nodes      int    `json:"nodes"`
+	Depth      int    `json:"depth"`
+	Bytes      int    `json:"bytes"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// snapshot flattens the counters (models and queue depth are filled by the
+// server, which owns the cache).
+func (s *Stats) snapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		Requests:        s.Requests.Load(),
+		RowsIn:          s.RowsIn.Load(),
+		DecodeErrors:    s.DecodeErrors.Load(),
+		NotFound:        s.NotFound.Load(),
+		Batches:         s.Batches.Load(),
+		BatchRows:       s.BatchRows.Load(),
+		MinBatchRows:    s.MinBatchRows.Load(),
+		MaxBatchRows:    s.MaxBatchRows.Load(),
+		FullFlushes:     s.FullFlushes.Load(),
+		DeadlineFlushes: s.DeadlineFlushes.Load(),
+		PredictErrors:   s.PredictErrors.Load(),
+		BufGets:         s.BufGets.Load(),
+		BufPuts:         s.BufPuts.Load(),
+		Swaps:           s.Swaps.Load(),
+		Deletes:         s.Deletes.Load(),
+	}
+	for i := range out.BatchSizeHist {
+		out.BatchSizeHist[i] = s.BatchHist[i].Load()
+	}
+	if out.Batches > 0 {
+		out.MeanBatchRows = float64(out.BatchRows) / float64(out.Batches)
+	}
+	return out
+}
