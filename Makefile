@@ -69,16 +69,22 @@ fuzz:
 	$(GO) test -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) -run='^$$' ./internal/serve
 
 # Benchmark-regression guards, all CI steps; exit non-zero on regression:
-# GUARD-BINNED (binned reduce-scatter FindSplitI invariants), GUARD-HOTPATH
-# (gini kernel ratio + allocation discipline vs the checked-in BENCH_*.json
-# trajectory), GUARD-PREDICT (compiled batch inference >= 4x the frozen
-# pre-engine walk with bit-identical labels), and GUARD-SERVE (the HTTP
-# serving path: bit-identical labels over the wire, throughput/latency vs
-# BENCH_serve.json; failing runs dump latency histograms into
-# SERVE_ARTIFACT_DIR for CI to upload) — see EXPERIMENTS.md.
+# GUARD-BINNED (binned reduce-scatter FindSplitI invariants), GUARD-VOTE
+# (top-k voting on the wide schema: degeneracy, p-invariant trees, >= 2x
+# FindSplitI byte cut vs binned, accuracy within 1% of exact; failing runs
+# dump a Chrome trace into VOTE_ARTIFACT_DIR for CI to upload),
+# GUARD-HOTPATH (gini kernel ratio + allocation discipline vs the
+# checked-in BENCH_*.json trajectory), GUARD-PREDICT (compiled batch
+# inference >= 4x the frozen pre-engine walk with bit-identical labels),
+# and GUARD-SERVE (the HTTP serving path: bit-identical labels over the
+# wire, throughput/latency vs BENCH_serve.json; failing runs dump latency
+# histograms into SERVE_ARTIFACT_DIR for CI to upload) — see
+# EXPERIMENTS.md.
 SERVE_ARTIFACT_DIR ?= serve-latency
+VOTE_ARTIFACT_DIR ?= vote-trace
 guard:
 	$(GO) run ./cmd/benchrunner -exp binnedguard
+	VOTE_ARTIFACT_DIR="$(VOTE_ARTIFACT_DIR)" $(GO) run ./cmd/benchrunner -exp voteguard
 	$(GO) run ./cmd/benchrunner -exp hotpathguard
 	$(GO) run ./cmd/benchrunner -exp predictguard
 	SERVE_ARTIFACT_DIR="$(SERVE_ARTIFACT_DIR)" $(GO) run ./cmd/benchrunner -exp serveguard

@@ -90,14 +90,23 @@ const (
 	// reduce-scatter per level; an approximation, but still invariant
 	// under the processor count.
 	SplitBinned = scalparc.SplitBinned
+	// SplitVote adds PV-Tree style top-k attribute voting on top of
+	// SplitBinned: ranks nominate their locally best k attributes per node
+	// and only the elected candidates' histograms are exchanged, cutting
+	// per-level FindSplit communication from O(attrs) to O(k).
+	SplitVote = scalparc.SplitVote
 )
 
-// ParseSplitMode converts "exact" or "binned" to a SplitMode.
+// ParseSplitMode converts "exact", "binned", or "vote" to a SplitMode.
 func ParseSplitMode(s string) (SplitMode, error) { return scalparc.ParseSplitStrategy(s) }
 
-// DefaultBins is the quantile bin cap SplitBinned uses when Config.Bins is
-// zero.
+// DefaultBins is the quantile bin cap SplitBinned and SplitVote use when
+// Config.Bins is zero.
 const DefaultBins = scalparc.DefaultBins
+
+// DefaultVoteK is the per-rank nomination count SplitVote uses when
+// Config.VoteK is zero.
+const DefaultVoteK = scalparc.DefaultVoteK
 
 func (a Algorithm) String() string {
 	switch a {
@@ -134,11 +143,15 @@ type Config struct {
 	// Prune applies pessimistic post-pruning to the induced tree.
 	Prune bool
 	// Split selects ScalParC's split-finding strategy (default SplitExact).
-	// Only the ScalParC algorithm supports SplitBinned.
+	// Only the ScalParC algorithm supports SplitBinned and SplitVote.
 	Split SplitMode
-	// Bins caps the per-attribute quantile bin count for SplitBinned;
-	// 0 selects the default (256). Only meaningful with SplitBinned.
+	// Bins caps the per-attribute quantile bin count for SplitBinned and
+	// SplitVote; 0 selects the default (256). Only meaningful with those
+	// modes.
 	Bins int
+	// VoteK is the per-rank, per-node attribute nomination count for
+	// SplitVote; 0 selects the default (8). Only meaningful with SplitVote.
+	VoteK int
 	// Faults is a fault-injection spec (see package faults: e.g.
 	// "crash@FindSplitI:1:2" or "random:4:crash,straggle"). Only the
 	// ScalParC algorithm has a recovery path, so faults require it.
@@ -220,8 +233,8 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 	if p == 0 {
 		p = 1
 	}
-	if (cfg.Split != SplitExact || cfg.Bins != 0) && cfg.Algorithm != ScalParC {
-		return nil, fmt.Errorf("classify: binned split finding requires the ScalParC algorithm (got %v)", cfg.Algorithm)
+	if (cfg.Split != SplitExact || cfg.Bins != 0 || cfg.VoteK != 0) && cfg.Algorithm != ScalParC {
+		return nil, fmt.Errorf("classify: binned and vote split finding require the ScalParC algorithm (got %v)", cfg.Algorithm)
 	}
 	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "") && cfg.Algorithm != ScalParC {
 		return nil, fmt.Errorf("classify: fault injection and checkpointing require the ScalParC algorithm (got %v)", cfg.Algorithm)
@@ -280,8 +293,8 @@ func TrainWorld(w *comm.World, tab *Table, cfg Config) (*Model, error) {
 	if cfg.Algorithm != ScalParC && cfg.Algorithm != SPRINT {
 		return nil, fmt.Errorf("classify: TrainWorld requires a parallel algorithm (got %v)", cfg.Algorithm)
 	}
-	if (cfg.Split != SplitExact || cfg.Bins != 0) && cfg.Algorithm != ScalParC {
-		return nil, fmt.Errorf("classify: binned split finding requires the ScalParC algorithm (got %v)", cfg.Algorithm)
+	if (cfg.Split != SplitExact || cfg.Bins != 0 || cfg.VoteK != 0) && cfg.Algorithm != ScalParC {
+		return nil, fmt.Errorf("classify: binned and vote split finding require the ScalParC algorithm (got %v)", cfg.Algorithm)
 	}
 	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "") && cfg.Algorithm != ScalParC {
 		return nil, fmt.Errorf("classify: fault injection and checkpointing require the ScalParC algorithm (got %v)", cfg.Algorithm)
@@ -313,6 +326,7 @@ func trainParallel(w *comm.World, tab *Table, cfg Config, schedule *faults.Sched
 		opts := scalparc.Options{
 			Split:           cfg.Split,
 			Bins:            cfg.Bins,
+			VoteK:           cfg.VoteK,
 			CheckpointEvery: cfg.CheckpointEvery,
 			CheckpointDir:   cfg.CheckpointDir,
 		}

@@ -40,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, fault, hotpath, hotpathguard, predict, predictguard, tcp, serve, serveguard, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, vote, voteguard, fault, hotpath, hotpathguard, predict, predictguard, tcp, serve, serveguard, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -202,6 +202,24 @@ func run(args []string, out io.Writer) error {
 	if all || want["binnedguard"] {
 		n := int(float64(bench.PaperSizes[0]) * *scale)
 		if err := bench.BinnedGuard(out, n, 8, machine); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	// vote appends to the checked-in BENCH_vote.json trajectory, so it only
+	// runs when asked for by name, never under -exp all.
+	if want["vote"] {
+		if err := bench.Vote(out, *benchDir, *benchLabel); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["voteguard"] {
+		if err := bench.VoteGuard(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

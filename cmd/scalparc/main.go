@@ -97,8 +97,9 @@ func run(args []string, stdout io.Writer) error {
 	minSplit := fs.Int("minsplit", 2, "minimum node size to split")
 	prune := fs.Bool("prune", false, "apply pessimistic post-pruning")
 	binaryCats := fs.Bool("binary-cats", false, "binary subset splits for categorical attributes")
-	splitMode := fs.String("split", "exact", "split finding: exact (the paper's algorithm) or binned (quantile histograms, scalparc only)")
-	bins := fs.Int("bins", 0, "quantile bin cap for -split=binned (0 = default 256)")
+	splitMode := fs.String("split", "exact", "split finding: exact (the paper's algorithm), binned (quantile histograms), or vote (top-k attribute voting; scalparc only)")
+	bins := fs.Int("bins", 0, "quantile bin cap for -split=binned or -split=vote (0 = default 256)")
+	voteK := fs.Int("vote-k", 0, "per-rank attribute nominations per node for -split=vote (0 = default 8)")
 	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. crash@FindSplitI:1:2 or random:4:crash,straggle (scalparc only)")
 	faultSeed := fs.Int64("fault-seed", 0, "seed for random: fault specs (required non-zero for them)")
 	ckptDir := fs.String("checkpoint", "", "persist level-boundary checkpoints to this directory (scalparc only)")
@@ -142,8 +143,11 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-split: %w", err)
 	}
-	if *bins != 0 && split != classify.SplitBinned {
-		return fmt.Errorf("-bins requires -split=binned")
+	if *bins != 0 && split != classify.SplitBinned && split != classify.SplitVote {
+		return fmt.Errorf("-bins requires -split=binned or -split=vote")
+	}
+	if *voteK != 0 && split != classify.SplitVote {
+		return fmt.Errorf("-vote-k requires -split=vote")
 	}
 	if (*faultSpec != "" || *ckptDir != "" || *ckptEvery != 0) && algorithm != classify.ScalParC {
 		return fmt.Errorf("-faults and -checkpoint require -algo scalparc (got %s)", *algo)
@@ -231,17 +235,26 @@ func run(args []string, stdout io.Writer) error {
 		Prune:             *prune,
 		Split:             split,
 		Bins:              *bins,
+		VoteK:             *voteK,
 		Faults:            *faultSpec,
 		FaultSeed:         *faultSeed,
 		CheckpointEvery:   *ckptEvery,
 		CheckpointDir:     *ckptDir,
 	}
-	if split == classify.SplitBinned {
+	if split == classify.SplitBinned || split == classify.SplitVote {
 		b := *bins
 		if b == 0 {
 			b = classify.DefaultBins
 		}
-		fmt.Fprintf(stdout, "binned split finding: up to %d quantile bins per continuous attribute\n", b)
+		if split == classify.SplitVote {
+			k := *voteK
+			if k == 0 {
+				k = classify.DefaultVoteK
+			}
+			fmt.Fprintf(stdout, "vote split finding: top-%d attribute nominations per rank, up to %d quantile bins per continuous attribute\n", k, b)
+		} else {
+			fmt.Fprintf(stdout, "binned split finding: up to %d quantile bins per continuous attribute\n", b)
+		}
 	}
 
 	if *cvFolds > 0 {

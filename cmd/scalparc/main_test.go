@@ -208,6 +208,44 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-train", "x.csv"}, &out); err == nil {
 		t.Fatal("-train without -schema accepted")
 	}
+	base := []string{"-quest-function", "1", "-records", "100"}
+	for _, tc := range []struct {
+		name  string
+		extra []string
+	}{
+		{"-bins with -split=exact", []string{"-bins", "32"}},
+		{"-vote-k with -split=exact", []string{"-vote-k", "4"}},
+		{"-vote-k with -split=binned", []string{"-split", "binned", "-vote-k", "4"}},
+		{"unknown -split", []string{"-split", "magic"}},
+	} {
+		if err := run(append(append([]string{}, base...), tc.extra...), &out); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+	// -bins is shared by binned and vote; both must accept it.
+	for _, mode := range []string{"binned", "vote"} {
+		if err := run(append(append([]string{}, base...), "-split", mode, "-bins", "16"), &out); err != nil {
+			t.Fatalf("-split=%s -bins 16 rejected: %v", mode, err)
+		}
+	}
+}
+
+func TestRunVoteMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-quest-function", "2", "-records", "1500", "-procs", "4", "-seed", "7",
+		"-split", "vote", "-vote-k", "3", "-bins", "32",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"vote split finding: top-3 attribute nominations per rank",
+		"algorithm scalparc on 4 processors", "held-out"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
 }
 
 func TestRunPhasesAndTraceOutput(t *testing.T) {

@@ -384,10 +384,18 @@ func ReverseExScanInto[T any](c *Comm, x, out []T, op func(a, b T) T, zero T) []
 // Allgather returns every rank's contribution, indexed by rank.
 // Contributions may have different lengths (allgatherv).
 func Allgather[T any](c *Comm, x []T) [][]T {
+	return AllgatherInto(c, x, nil)
+}
+
+// AllgatherInto is Allgather reusing out as the received-buffer index
+// (grown as needed; see the *Into reuse rules above — as with AllToAllInto,
+// the received buffers themselves may alias the senders' buffers either
+// way, only the p-entry index is pooled).
+func AllgatherInto[T any](c *Comm, x []T, out [][]T) [][]T {
 	p := c.Size()
 	es := sizeOf[T]()
 	all := exchangeSlices(c, x)
-	out := make([][]T, p)
+	out = ensureLen(out, p)
 	maxEach, recvBytes := 0, 0
 	for r := 0; r < p; r++ {
 		v := depositSlice[T](c, all, r, "Allgather")
@@ -405,6 +413,49 @@ func Allgather[T any](c *Comm, x []T) [][]T {
 	st.Allgathers++
 	c.traceComm(int64((p-1)*len(x)*es), int64(recvBytes))
 	c.Compute(c.Model().Allgather(p, maxEach))
+	return out
+}
+
+// CandidateGather gathers one equal-length contribution vector from every
+// rank and returns them concatenated in rank order — the fixed-size vote
+// primitive of top-k attribute-voting split finding: each rank deposits its
+// nomination ballot and every rank receives the full ballot box. Unlike
+// Allgather (whose per-rank results may alias the senders' buffers on the
+// simulated machine), the result is a private flat copy, and unlike
+// allgatherv, equal contribution lengths are a protocol invariant: a rank
+// whose ballot disagrees in size is a data-boundary fault, reported as a
+// typed *ProtocolError. The communication pattern — and the modeled cost —
+// is an allgather of len(x) elements per rank.
+func CandidateGather[T any](c *Comm, x []T) []T {
+	return CandidateGatherInto(c, x, nil)
+}
+
+// CandidateGatherInto is CandidateGather writing into out (grown as needed;
+// see the *Into reuse rules above).
+func CandidateGatherInto[T any](c *Comm, x, out []T) []T {
+	p := c.Size()
+	es := sizeOf[T]()
+	n := len(x)
+	all := exchangeSlices(c, x)
+	out = ensureLen(out, p*n)
+	for r := 0; r < p; r++ {
+		v := depositSlice[T](c, all, r, "CandidateGather")
+		if len(v) != n {
+			panic(&ProtocolError{Op: "CandidateGather", Rank: c.Phys(),
+				Detail: fmt.Sprintf("ballot length mismatch: rank %d has %d elements, rank %d has %d", c.Rank(), n, r, len(v))})
+		}
+		copy(out[r*n:(r+1)*n], v)
+	}
+	// Each rank sends its ballot to the other p-1 ranks and receives their
+	// p-1 ballots.
+	sent := int64((p - 1) * n * es)
+	recv := int64((p - 1) * n * es)
+	st := c.Stats()
+	st.BytesSent += sent
+	st.BytesRecv += recv
+	st.CandidateGathers++
+	c.traceComm(sent, recv)
+	c.Compute(c.Model().Allgather(p, n*es))
 	return out
 }
 

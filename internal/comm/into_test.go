@@ -17,6 +17,8 @@ func TestIntoVariantsReuseBuffers(t *testing.T) {
 			allred, exscan []int64
 			rscat          []uint32
 			a2a            [][]int64
+			ag             [][]int64
+			cg             []int32
 		}
 		pool := make([]pools, p)
 		for round := 0; round < 2; round++ {
@@ -60,6 +62,28 @@ func TestIntoVariantsReuseBuffers(t *testing.T) {
 					if len(buf) != 1 || buf[0] != int64(s)*100+me {
 						t.Errorf("p=%d rank %d AllToAllInto[%d] = %v", p, c.Rank(), s, buf)
 					}
+				}
+
+				beforeAg := pl.ag
+				pl.ag = AllgatherInto(c, []int64{me * 10}, pl.ag)
+				for s, buf := range pl.ag {
+					if len(buf) != 1 || buf[0] != int64(s)*10 {
+						t.Errorf("p=%d rank %d AllgatherInto[%d] = %v", p, c.Rank(), s, buf)
+					}
+				}
+				if round == 1 && beforeAg != nil && &beforeAg[0] != &pl.ag[0] {
+					t.Errorf("p=%d AllgatherInto reallocated the outer slice on round 2", p)
+				}
+
+				beforeCg := pl.cg
+				pl.cg = CandidateGatherInto(c, []int32{int32(me), int32(me) + 100}, pl.cg)
+				for s := 0; s < p; s++ {
+					if pl.cg[2*s] != int32(s) || pl.cg[2*s+1] != int32(s)+100 {
+						t.Errorf("p=%d rank %d CandidateGatherInto = %v", p, c.Rank(), pl.cg)
+					}
+				}
+				if round == 1 && beforeCg != nil && &beforeCg[0] != &pl.cg[0] {
+					t.Errorf("p=%d CandidateGatherInto reallocated on round 2", p)
 				}
 			})
 		}

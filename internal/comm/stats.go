@@ -11,15 +11,16 @@ type Stats struct {
 	MsgsSent int64
 	MsgsRecv int64
 
-	Barriers       int64
-	AllToAlls      int64
-	AllReduces     int64
-	Scans          int64
-	Allgathers     int64
-	Reduces        int64
-	ReduceScatters int64
-	Bcasts         int64
-	Gathers        int64
+	Barriers         int64
+	AllToAlls        int64
+	AllReduces       int64
+	Scans            int64
+	Allgathers       int64
+	Reduces          int64
+	ReduceScatters   int64
+	CandidateGathers int64
+	Bcasts           int64
+	Gathers          int64
 
 	// Fault and recovery counters (see faults.go). Drops and Corruptions
 	// count injected transport faults; Retries the modeled
@@ -48,6 +49,7 @@ func (s *Stats) Add(other Stats) {
 	s.Allgathers += other.Allgathers
 	s.Reduces += other.Reduces
 	s.ReduceScatters += other.ReduceScatters
+	s.CandidateGathers += other.CandidateGathers
 	s.Bcasts += other.Bcasts
 	s.Gathers += other.Gathers
 	s.Drops += other.Drops

@@ -107,6 +107,7 @@ func mixedWorkload(c *Comm) {
 
 	c.SetPhase(trace.FindSplitII, 1)
 	Allgather(c, make([]float64, me+1))
+	CandidateGather(c, []int32{int32(me), int32(me + 1), -1})
 	Reduce(c, 0, []float64{float64(me)}, func(a, b float64) float64 { return a + b })
 	Bcast(c, 0, []int32{1, 2, 3, 4})
 

@@ -1,0 +1,89 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestWideSchema(t *testing.T) {
+	s := WideSchema(Seven, 193)
+	if got := s.NumAttrs(); got != 200 {
+		t.Fatalf("NumAttrs = %d, want 200", got)
+	}
+	base := Schema(Seven)
+	for a := range base.Attrs {
+		if s.Attrs[a].Name != base.Attrs[a].Name || s.Attrs[a].Kind != base.Attrs[a].Kind {
+			t.Fatalf("base attribute %d changed: %+v", a, s.Attrs[a])
+		}
+	}
+	for a := base.NumAttrs(); a < s.NumAttrs(); a++ {
+		if s.Attrs[a].Kind != dataset.Continuous {
+			t.Fatalf("noise attribute %d is %v, want continuous", a, s.Attrs[a].Kind)
+		}
+	}
+	if s.Attrs[base.NumAttrs()].Name != "noise000" {
+		t.Fatalf("first noise attribute named %q", s.Attrs[base.NumAttrs()].Name)
+	}
+	if WideSchema(Seven, 0).NumAttrs() != base.NumAttrs() {
+		t.Fatal("zero-noise wide schema differs from the base schema")
+	}
+}
+
+func TestGenerateWide(t *testing.T) {
+	const n, noise = 400, 25
+	cfg := Config{Function: 1, Attrs: Seven, Seed: 9}
+	tab, err := GenerateWide(cfg, n, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != n || tab.Schema.NumAttrs() != 7+noise {
+		t.Fatalf("got %d rows x %d attrs", tab.NumRows(), tab.Schema.NumAttrs())
+	}
+	// Deterministic under the seed.
+	again, err := GenerateWide(cfg, n, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < tab.Schema.NumAttrs(); a++ {
+		for i := 0; i < n; i++ {
+			if tab.Value(a, i) != again.Value(a, i) {
+				t.Fatalf("attr %d row %d differs between identical-seed runs", a, i)
+			}
+		}
+	}
+	// Noise columns stay in [0, 1); the base columns keep Quest ranges.
+	for a := 7; a < 7+noise; a++ {
+		for i := 0; i < n; i++ {
+			if v := tab.ContValue(a, i); v < 0 || v >= 1 {
+				t.Fatalf("noise attr %d row %d = %v out of [0,1)", a, i, v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v := tab.ContValue(0, i); v < 20000 || v > 150000 {
+			t.Fatalf("salary row %d = %v out of range", i, v)
+		}
+	}
+	// Function 1 depends on age alone, so the label must match the base
+	// generator's semantics: age < 40 or >= 60 is Group A (class 0).
+	for i := 0; i < n; i++ {
+		age := tab.ContValue(2, i)
+		want := uint8(1)
+		if age < 40 || age >= 60 {
+			want = 0
+		}
+		if tab.Class[i] != want {
+			t.Fatalf("row %d: age %v labeled %d", i, age, tab.Class[i])
+		}
+	}
+	if _, err := GenerateWide(cfg, -1, noise); err == nil {
+		t.Fatal("negative record count accepted")
+	}
+	if _, err := GenerateWide(cfg, n, -1); err == nil {
+		t.Fatal("negative noise count accepted")
+	}
+	if _, err := GenerateWide(Config{Function: 11, Attrs: Seven}, n, noise); err == nil {
+		t.Fatal("invalid function accepted")
+	}
+}

@@ -111,6 +111,38 @@ func NewLayout(nNeed int, bins []int, classes int) *Layout {
 	return l
 }
 
+// NewLayoutSubset builds the layout restricted to per-node candidate
+// attribute sets: need-split node i contributes one group per attribute in
+// cands[i] (which must be ascending and duplicate-free, with bins[a] > 0
+// for every member). Groups stay node-major in attribute order — exactly
+// NewLayout's order restricted to the sets — so candidate sets naming every
+// attribute reproduce the full layout group for group, and the vote mode's
+// degenerate case (k >= attrs) exchanges and evaluates bit-identically to
+// the binned mode.
+func NewLayoutSubset(cands [][]int32, bins []int, classes int) *Layout {
+	if classes <= 0 {
+		panic(fmt.Sprintf("histogram: NewLayoutSubset with %d classes", classes))
+	}
+	l := &Layout{Classes: classes}
+	for i, set := range cands {
+		prev := int32(-1)
+		for _, a := range set {
+			if a <= prev {
+				panic(fmt.Sprintf("histogram: NewLayoutSubset node %d candidates not ascending: %d after %d", i, a, prev))
+			}
+			prev = a
+			b := bins[a]
+			if b <= 0 {
+				panic(fmt.Sprintf("histogram: NewLayoutSubset candidate attribute %d has %d bins", a, b))
+			}
+			g := Group{Node: i, Attr: int(a), Off: l.Total, Bins: b, Len: b * classes}
+			l.Groups = append(l.Groups, g)
+			l.Total += g.Len
+		}
+	}
+	return l
+}
+
 // GroupRange returns the half-open group-index range owned by rank r when
 // the groups are dealt to p ranks in contiguous blocks (BlockRange over
 // groups, so evaluation work is balanced to within one group).

@@ -43,6 +43,31 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 	model := wk.c.Model()
 	p := wk.c.Size()
 
+	layout := histogram.NewLayout(nNeed, wk.attrBins(), nc)
+	nodeOf := wk.needToActive(splitIdx, nNeed)
+
+	transient := int64(layout.Total) * 4
+	wk.c.Mem().Alloc(transient)
+	hist := grab(wk.ar, &wk.ar.hist32, layout.Total)
+	scanned := wk.accumulateHist(layout, nodeOf, hist)
+	wk.c.Compute(model.ScanTime(scanned))
+
+	counts := layout.OwnerCounts(p)
+	mine := stash(wk.ar, &wk.ar.mine32, comm.ReduceScatterSum32Into(wk.c, hist, wk.ar.mine32, counts))
+
+	// FindSplitII: evaluate the owned groups from their reduced histograms.
+	wk.c.SetPhase(trace.FindSplitII, wk.level)
+	best := grab(wk.ar, &wk.ar.best, nNeed) // zero value is Invalid
+	evaluated := wk.evalOwnedGroups(layout, mine, best)
+	wk.c.Compute(model.ScanTime(evaluated))
+	wk.c.Mem().Free(transient)
+	return stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
+}
+
+// attrBins returns the per-attribute bin counts of the binned/vote histogram
+// layout: quantile cuts + 1 for continuous attributes, the domain
+// cardinality for categorical ones. Every attribute has at least one bin.
+func (wk *worker) attrBins() []int {
 	bins := grabRaw(wk.ar, &wk.ar.attrBins, wk.schema.NumAttrs())
 	for a, attr := range wk.schema.Attrs {
 		if attr.Kind == dataset.Continuous {
@@ -51,21 +76,26 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 			bins[a] = attr.Cardinality()
 		}
 	}
-	layout := histogram.NewLayout(nNeed, bins, nc)
+	return bins
+}
 
-	// Need-split index back to active index, for segment lookup.
+// needToActive inverts splitIdx: need-split index back to active index, for
+// segment lookup.
+func (wk *worker) needToActive(splitIdx []int, nNeed int) []int {
 	nodeOf := grabRaw(wk.ar, &wk.ar.nodeOf, nNeed)
 	for i, i2 := range splitIdx {
 		if i2 >= 0 {
 			nodeOf[i2] = i
 		}
 	}
+	return nodeOf
+}
 
-	// Local accumulation over every group's segment. uint32 counts are safe:
-	// record ids are int32, so no count can reach 2³¹.
-	transient := int64(layout.Total) * 4
-	wk.c.Mem().Alloc(transient)
-	hist := grab(wk.ar, &wk.ar.hist32, layout.Total)
+// accumulateHist counts this rank's list segments into the layout's local
+// histogram vector and returns the number of entries scanned. uint32 counts
+// are safe: record ids are int32, so no count can reach 2³¹.
+func (wk *worker) accumulateHist(layout *histogram.Layout, nodeOf []int, hist []uint32) int {
+	nc := layout.Classes
 	scanned := 0
 	for _, g := range layout.Groups {
 		sg := wk.segs[g.Attr][nodeOf[g.Node]]
@@ -81,15 +111,37 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 		}
 		scanned += sg.n
 	}
-	wk.c.Compute(model.ScanTime(scanned))
+	return scanned
+}
 
-	counts := layout.OwnerCounts(p)
-	mine := stash(wk.ar, &wk.ar.mine32, comm.ReduceScatterSum32Into(wk.c, hist, wk.ar.mine32, counts))
+// evalHistGroup evaluates one (node, attribute) group from a reduced — or,
+// for vote-mode local scoring, local — histogram chunk: bin boundaries for
+// continuous attributes, splitter.BestCategorical for categorical ones.
+func (wk *worker) evalHistGroup(grp histogram.Group, chunk []uint32, below, above []int64, nc int) splitter.Candidate {
+	if wk.schema.Attrs[grp.Attr].Kind == dataset.Continuous {
+		return bestBinnedCont(chunk, below, above, wk.cuts[grp.Attr], nc, grp.Attr)
+	}
+	flat := grabRaw(wk.ar, &wk.ar.catFlat, len(chunk))
+	for j, v := range chunk {
+		flat[j] = int64(v)
+	}
+	// Arena-backed count matrix: the rows alias catFlat, consumed before
+	// the next group reuses either.
+	rows := grabRaw(wk.ar, &wk.ar.catRows, grp.Bins)
+	for v := 0; v < grp.Bins; v++ {
+		rows[v] = flat[v*nc : (v+1)*nc]
+	}
+	wk.ar.catMat.Counts = rows
+	return splitter.BestCategorical(&wk.ar.catMat, grp.Attr, wk.cfg.CategoricalBinary)
+}
 
-	// FindSplitII: evaluate the owned groups from their reduced histograms.
-	wk.c.SetPhase(trace.FindSplitII, wk.level)
-	best := grab(wk.ar, &wk.ar.best, nNeed) // zero value is Invalid
-	glo, ghi := layout.GroupRange(p, wk.c.Rank())
+// evalOwnedGroups evaluates this rank's contiguous block of the layout's
+// groups from the reduce-scattered histogram slice, merging per-node winners
+// into best with the deterministic candidate order. Returns the number of
+// histogram slots evaluated.
+func (wk *worker) evalOwnedGroups(layout *histogram.Layout, mine []uint32, best []splitter.Candidate) int {
+	nc := layout.Classes
+	glo, ghi := layout.GroupRange(wk.c.Size(), wk.c.Rank())
 	below := grabRaw(wk.ar, &wk.ar.below, nc)
 	above := grabRaw(wk.ar, &wk.ar.above, nc)
 	off, evaluated := 0, 0
@@ -98,22 +150,10 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 		chunk := mine[off : off+grp.Len]
 		off += grp.Len
 		evaluated += grp.Len
-		var cand splitter.Candidate
-		if wk.schema.Attrs[grp.Attr].Kind == dataset.Continuous {
-			cand = bestBinnedCont(chunk, below, above, wk.cuts[grp.Attr], nc, grp.Attr)
-		} else {
-			flat := grabRaw(wk.ar, &wk.ar.catFlat, len(chunk))
-			for j, v := range chunk {
-				flat[j] = int64(v)
-			}
-			m := splitter.FromFlat(flat, grp.Bins, nc)
-			cand = splitter.BestCategorical(m, grp.Attr, wk.cfg.CategoricalBinary)
-		}
+		cand := wk.evalHistGroup(grp, chunk, below, above, nc)
 		best[grp.Node] = splitter.Best(best[grp.Node], cand)
 	}
-	wk.c.Compute(model.ScanTime(evaluated))
-	wk.c.Mem().Free(transient)
-	return stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
+	return evaluated
 }
 
 // bestBinnedCont evaluates a continuous attribute's bin boundaries from the

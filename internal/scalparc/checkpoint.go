@@ -565,6 +565,7 @@ func restoreWorker(c *comm.Comm, schema *dataset.Schema, cfg splitter.Config, fa
 		rebalance: opts.RebalanceLevels,
 		split:     sh.split,
 		bins:      sh.bins,
+		voteK:     opts.VoteK,
 		cuts:      sh.cuts,
 		ar:        newScratch(schema.NumAttrs(), opts.PerNodeComms),
 	}

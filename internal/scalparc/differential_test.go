@@ -257,6 +257,13 @@ func TestSplitOptionsValidation(t *testing.T) {
 		{Options{Bins: 64}, false},                    // Bins without binned
 		{Options{Split: SplitBinned, Bins: 1}, false}, // too few
 		{Options{Split: SplitBinned, Bins: 70000}, false},
+		{Options{Split: SplitVote}, true},                     // Bins and VoteK default
+		{Options{Split: SplitVote, Bins: 16, VoteK: 2}, true}, // explicit
+		{Options{VoteK: 4}, false},                            // VoteK without vote
+		{Options{Split: SplitBinned, VoteK: 4}, false},        // VoteK without vote
+		{Options{Split: SplitVote, VoteK: -1}, false},         // out of range
+		{Options{Split: SplitVote, VoteK: 70000}, false},      // out of range
+		{Options{Split: SplitVote, Bins: 1}, false},           // vote shares Bins bounds
 		{Options{Split: SplitStrategy(9)}, false},
 	}
 	for _, tc := range cases {
@@ -266,7 +273,7 @@ func TestSplitOptionsValidation(t *testing.T) {
 			t.Errorf("opts %+v: err=%v, want ok=%v", tc.opts, err, tc.ok)
 		}
 	}
-	for _, s := range []SplitStrategy{SplitExact, SplitBinned} {
+	for _, s := range []SplitStrategy{SplitExact, SplitBinned, SplitVote} {
 		got, err := ParseSplitStrategy(s.String())
 		if err != nil || got != s {
 			t.Errorf("ParseSplitStrategy(%q) = %v, %v", s.String(), got, err)

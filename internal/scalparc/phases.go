@@ -49,8 +49,11 @@ func (wk *worker) findSplits(splitIdx []int, nNeed int) []splitter.Candidate {
 // findSplitsBatch runs FindSplitI and the candidate half of FindSplitII
 // for one batch of need-split nodes.
 func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidate {
-	if wk.split == SplitBinned {
+	switch wk.split {
+	case SplitBinned:
 		return wk.findSplitsBinned(splitIdx, nNeed)
+	case SplitVote:
+		return wk.findSplitsVote(splitIdx, nNeed)
 	}
 	wk.c.SetPhase(trace.FindSplitI, wk.level)
 	contAttrs := wk.schema.ContIndices()

@@ -127,6 +127,17 @@ const (
 	// values) but is still invariant under the processor count, because the
 	// cuts are sampled at fixed global quantile positions.
 	SplitBinned
+	// SplitVote rides the binned histograms but exchanges only a top-k
+	// candidate subset of them (PV-Tree style): each rank scores its local
+	// histograms and nominates its top VoteK attributes per node, one small
+	// fixed-size vote collective selects the global candidate set of at
+	// most 2·VoteK attributes, and only the candidates' histograms travel
+	// through the reduce-scatter — cutting per-level FindSplit bytes from
+	// O(attrs) to O(k). The winner is still chosen from fully fused global
+	// statistics of the candidates with the same deterministic tie-breaking,
+	// and with VoteK >= the attribute count the candidate set is every
+	// attribute and the tree is bit-identical to SplitBinned's.
+	SplitVote
 )
 
 func (s SplitStrategy) String() string {
@@ -135,6 +146,8 @@ func (s SplitStrategy) String() string {
 		return "exact"
 	case SplitBinned:
 		return "binned"
+	case SplitVote:
+		return "vote"
 	default:
 		return fmt.Sprintf("SplitStrategy(%d)", int(s))
 	}
@@ -147,14 +160,20 @@ func ParseSplitStrategy(s string) (SplitStrategy, error) {
 		return SplitExact, nil
 	case "binned":
 		return SplitBinned, nil
+	case "vote":
+		return SplitVote, nil
 	default:
-		return 0, fmt.Errorf("scalparc: unknown split strategy %q (want exact or binned)", s)
+		return 0, fmt.Errorf("scalparc: unknown split strategy %q (want exact, binned, or vote)", s)
 	}
 }
 
 // DefaultBins is the quantile bin cap SplitBinned uses when Options.Bins is
 // zero.
 const DefaultBins = 256
+
+// DefaultVoteK is the per-rank nomination count SplitVote uses when
+// Options.VoteK is zero.
+const DefaultVoteK = 8
 
 // Options tunes the parallel induction engine beyond the split-selection
 // configuration.
@@ -183,11 +202,17 @@ type Options struct {
 	// one attribute at a time precisely to bound that memory). Mutually
 	// exclusive with PerNodeComms.
 	BatchedEnquiry bool
-	// Split selects exact (default) or histogram-binned split finding.
+	// Split selects exact (default), histogram-binned, or top-k
+	// attribute-voting split finding.
 	Split SplitStrategy
-	// Bins caps the per-attribute quantile bin count for SplitBinned; zero
-	// selects DefaultBins. Setting it with SplitExact is an error.
+	// Bins caps the per-attribute quantile bin count for SplitBinned and
+	// SplitVote; zero selects DefaultBins. Setting it with SplitExact is an
+	// error.
 	Bins int
+	// VoteK is the number of attributes each rank nominates per node under
+	// SplitVote (the global candidate set keeps at most 2·VoteK); zero
+	// selects DefaultVoteK. Setting it with any other strategy is an error.
+	VoteK int
 
 	// Faults installs a fault injector on the world for the duration of
 	// the run (nil: no injection). Fail-stop crashes are survived: the
@@ -227,9 +252,9 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	switch opts.Split {
 	case SplitExact:
 		if opts.Bins != 0 {
-			return nil, fmt.Errorf("scalparc: Bins is only meaningful with SplitBinned")
+			return nil, fmt.Errorf("scalparc: Bins is only meaningful with SplitBinned or SplitVote")
 		}
-	case SplitBinned:
+	case SplitBinned, SplitVote:
 		if opts.Bins == 0 {
 			opts.Bins = DefaultBins
 		}
@@ -238,6 +263,16 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 		}
 	default:
 		return nil, fmt.Errorf("scalparc: unknown split strategy %d", int(opts.Split))
+	}
+	if opts.Split == SplitVote {
+		if opts.VoteK == 0 {
+			opts.VoteK = DefaultVoteK
+		}
+		if opts.VoteK < 1 || opts.VoteK > 65536 {
+			return nil, fmt.Errorf("scalparc: VoteK %d out of range [1, 65536]", opts.VoteK)
+		}
+	} else if opts.VoteK != 0 {
+		return nil, fmt.Errorf("scalparc: VoteK is only meaningful with SplitVote")
 	}
 	factory := opts.RecordMap
 	if factory == nil {
@@ -449,12 +484,14 @@ type worker struct {
 	level      int   // current tree level, for phase attribution
 	levelStats []LevelStats
 
-	// Binned split finding (Options.Split == SplitBinned): cuts[a] is the
-	// strictly increasing quantile cut vector of continuous attribute a
-	// (nil for categorical attributes), sampled once at presort time and
-	// identical on every rank.
+	// Binned and vote split finding (Options.Split != SplitExact): cuts[a]
+	// is the strictly increasing quantile cut vector of continuous
+	// attribute a (nil for categorical attributes), sampled once at presort
+	// time and identical on every rank. voteK is SplitVote's per-rank
+	// nomination count.
 	split    SplitStrategy
 	bins     int
+	voteK    int
 	cuts     [][]float64
 	cutBytes int64
 
@@ -484,19 +521,20 @@ func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory Re
 		rebalance: opts.RebalanceLevels,
 		split:     opts.Split,
 		bins:      opts.Bins,
+		voteK:     opts.VoteK,
 		ar:        newScratch(tab.Schema.NumAttrs(), opts.PerNodeComms),
 	}
 
 	// Presort: sample sort + shift for every continuous attribute. The
-	// categorical lists stay in record order. Binned mode additionally
-	// samples each attribute's quantile cut vector off the freshly sorted
-	// list — the only moment the global sorted order is laid out in
-	// contiguous rank blocks.
+	// categorical lists stay in record order. Binned and vote modes
+	// additionally sample each attribute's quantile cut vector off the
+	// freshly sorted list — the only moment the global sorted order is laid
+	// out in contiguous rank blocks.
 	c.SetPhase(trace.Sort, 0)
 	for _, a := range wk.schema.ContIndices() {
 		wk.cont[a] = psort.Sort(c, wk.cont[a])
 	}
-	if wk.split == SplitBinned {
+	if wk.split != SplitExact {
 		wk.cuts = make([][]float64, wk.schema.NumAttrs())
 		for _, a := range wk.schema.ContIndices() {
 			wk.cuts[a] = computeCuts(c, wk.cont[a], n, wk.bins)

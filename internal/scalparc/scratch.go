@@ -53,6 +53,20 @@ type scratch struct {
 	below    []int64
 	above    []int64
 	catFlat  []int64
+	catRows  [][]int64
+	catMat   splitter.CountMatrix
+
+	// findSplitsVote
+	voteScores []float64
+	votable    []int32
+	voteOrder  []int32
+	ballots    []int32
+	ballotsAll []int32
+	nodeVotes  []int32
+	voteTally  []int32
+	candFlat   []int32
+	candSets   [][]int32
+	candHist   []uint32
 
 	// performSplitI
 	offsets    []int

@@ -1,0 +1,143 @@
+package scalparc
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/comm"
+	"repro/internal/histogram"
+	"repro/internal/splitter"
+	"repro/internal/trace"
+)
+
+// findSplitsVote is the top-k attribute-voting counterpart of
+// findSplitsBinned, after PV-Tree: instead of reduce-scattering the full
+// (node, attribute, bin, class) histogram vector — O(attrs) slots per node —
+// each rank scores its *local* histograms, nominates its top-k attributes
+// per need-split node, and a small fixed-size ballot exchange elects a
+// global candidate set of at most 2k attributes per node. Only the
+// candidates' histograms then ride the existing reduce-scatter, cutting the
+// dominant FindSplit exchange from O(attrs) to O(k) per node.
+//
+// The local vote orders a node's attributes by local binned gini ascending
+// (locally invalid attributes score +Inf), ties toward the lower attribute
+// index, and nominates the first min(k, attrs) — so when k >= attrs every
+// rank nominates every attribute, the elected set is the full attribute
+// set, the restricted layout equals the full layout group for group, and
+// the vote tree degenerates to the binned tree bit for bit. The global
+// election (splitter.VoteSelect) is a pure function of the ballot multiset
+// with deterministic tie-breaking, so every rank computes the identical
+// candidate set and the tree cannot depend on rank order.
+func (wk *worker) findSplitsVote(splitIdx []int, nNeed int) []splitter.Candidate {
+	wk.c.SetPhase(trace.FindSplitI, wk.level)
+	nc := wk.schema.NumClasses()
+	model := wk.c.Model()
+	p := wk.c.Size()
+	numAttrs := wk.schema.NumAttrs()
+
+	bins := wk.attrBins()
+	layout := histogram.NewLayout(nNeed, bins, nc)
+	nodeOf := wk.needToActive(splitIdx, nNeed)
+
+	transient := int64(layout.Total) * 4
+	wk.c.Mem().Alloc(transient)
+	hist := grab(wk.ar, &wk.ar.hist32, layout.Total)
+	scanned := wk.accumulateHist(layout, nodeOf, hist)
+
+	// Local vote: score every group from the local (unreduced) histogram.
+	scores := grabRaw(wk.ar, &wk.ar.voteScores, nNeed*numAttrs)
+	for i := range scores {
+		scores[i] = math.Inf(1)
+	}
+	below := grabRaw(wk.ar, &wk.ar.below, nc)
+	above := grabRaw(wk.ar, &wk.ar.above, nc)
+	for _, grp := range layout.Groups {
+		cand := wk.evalHistGroup(grp, hist[grp.Off:grp.Off+grp.Len], below, above, nc)
+		if cand.Valid {
+			scores[grp.Node*numAttrs+grp.Attr] = cand.Gini
+		}
+	}
+	wk.c.Compute(model.ScanTime(scanned + layout.Total))
+
+	// Nominate per node the kk best-scoring votable attributes (the ones
+	// the layout actually carries). The +Inf score of locally invalid
+	// attributes sorts them after every real candidate, so a ballot is
+	// always full — no blanks — and k >= attrs nominates everything.
+	votable := grabRaw(wk.ar, &wk.ar.votable, 0)
+	for a, b := range bins {
+		if b > 0 {
+			votable = append(votable, int32(a))
+		}
+	}
+	votable = stash(wk.ar, &wk.ar.votable, votable)
+	kk := wk.voteK
+	if kk > len(votable) {
+		kk = len(votable)
+	}
+	order := grabRaw(wk.ar, &wk.ar.voteOrder, len(votable))
+	ballots := grabRaw(wk.ar, &wk.ar.ballots, nNeed*kk)
+	for i := 0; i < nNeed; i++ {
+		sc := scores[i*numAttrs : (i+1)*numAttrs]
+		copy(order, votable)
+		slices.SortFunc(order, func(a, b int32) int {
+			if sc[a] != sc[b] {
+				if sc[a] < sc[b] {
+					return -1
+				}
+				return 1
+			}
+			return int(a - b)
+		})
+		copy(ballots[i*kk:(i+1)*kk], order[:kk])
+	}
+
+	// Global vote: one fixed-size ballot exchange, then every rank runs the
+	// identical election per node. Candidate sets are carved out of one flat
+	// backing with full slice expressions, so VoteSelect's appends can never
+	// reallocate them away from the arena.
+	allBallots := stash(wk.ar, &wk.ar.ballotsAll, comm.CandidateGatherInto(wk.c, ballots, wk.ar.ballotsAll))
+	maxPer := 2 * wk.voteK
+	if maxPer > len(votable) {
+		maxPer = len(votable)
+	}
+	tally := grabRaw(wk.ar, &wk.ar.voteTally, numAttrs)
+	candFlat := grabRaw(wk.ar, &wk.ar.candFlat, nNeed*len(votable))
+	candSets := grabRaw(wk.ar, &wk.ar.candSets, nNeed)
+	votes := grabRaw(wk.ar, &wk.ar.nodeVotes, p*kk)
+	stride := nNeed * kk
+	for i := 0; i < nNeed; i++ {
+		for r := 0; r < p; r++ {
+			copy(votes[r*kk:(r+1)*kk], allBallots[r*stride+i*kk:r*stride+(i+1)*kk])
+		}
+		off := i * len(votable)
+		candSets[i] = splitter.VoteSelect(votes, numAttrs, maxPer, tally, candFlat[off:off:off+len(votable)])
+	}
+
+	// Exchange only the elected candidates' histograms. The sub-layout's
+	// groups are a node-major, attribute-ascending subset of the full
+	// layout's, so a single merge walk copies the chunks across.
+	sub := histogram.NewLayoutSubset(candSets, bins, nc)
+	subBytes := int64(sub.Total) * 4
+	wk.c.Mem().Alloc(subBytes)
+	candHist := grabRaw(wk.ar, &wk.ar.candHist, sub.Total)
+	fi := 0
+	for _, g := range sub.Groups {
+		for layout.Groups[fi].Node != g.Node || layout.Groups[fi].Attr != g.Attr {
+			fi++
+		}
+		fg := layout.Groups[fi]
+		copy(candHist[g.Off:g.Off+g.Len], hist[fg.Off:fg.Off+fg.Len])
+		fi++
+	}
+	counts := sub.OwnerCounts(p)
+	mine := stash(wk.ar, &wk.ar.mine32, comm.ReduceScatterSum32Into(wk.c, candHist, wk.ar.mine32, counts))
+
+	// FindSplitII: evaluate the owned candidate groups from their fused
+	// global histograms, exactly as the binned path does.
+	wk.c.SetPhase(trace.FindSplitII, wk.level)
+	best := grab(wk.ar, &wk.ar.best, nNeed) // zero value is Invalid
+	evaluated := wk.evalOwnedGroups(sub, mine, best)
+	wk.c.Compute(model.ScanTime(evaluated))
+	wk.c.Mem().Free(transient + subBytes)
+	return stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
+}

@@ -1,0 +1,61 @@
+package splitter
+
+import (
+	"fmt"
+	"slices"
+)
+
+// VoteSelect tallies one node's attribute-nomination ballots and returns the
+// global candidate set of top-k attribute-voting split finding: the at most
+// max attributes with the most votes, in ascending attribute order. votes is
+// the concatenation of every rank's ballot for the node, each entry an
+// attribute index in [0, numAttrs) (negative entries are blanks and are
+// ignored). Ties on the vote count break toward the lower attribute index.
+//
+// The selection is a pure function of the multiset of votes — invariant
+// under any permutation of the ballots (and hence of the rank order) — and
+// the tie-breaking rule makes it deterministic, so every rank computes the
+// identical candidate set from the identical ballot box and the induced
+// tree cannot depend on which rank nominated what first.
+//
+// tally is a caller-provided scratch vector of at least numAttrs counts;
+// out's backing is reused (the result is appended to out[:0]), so a caller
+// that pre-sizes both allocates nothing.
+func VoteSelect(votes []int32, numAttrs, max int, tally []int32, out []int32) []int32 {
+	if len(tally) < numAttrs {
+		panic(fmt.Sprintf("splitter: VoteSelect tally has %d slots for %d attributes", len(tally), numAttrs))
+	}
+	tally = tally[:numAttrs]
+	clear(tally)
+	for _, a := range votes {
+		if a < 0 {
+			continue
+		}
+		if int(a) >= numAttrs {
+			panic(fmt.Sprintf("splitter: VoteSelect ballot names attribute %d of %d", a, numAttrs))
+		}
+		tally[a]++
+	}
+	out = out[:0]
+	for a, n := range tally {
+		if n > 0 {
+			out = append(out, int32(a))
+		}
+	}
+	if max >= 0 && len(out) > max {
+		// More distinct nominees than slots: keep the max most-voted, ties
+		// to the lower attribute index, then restore ascending order.
+		slices.SortFunc(out, func(a, b int32) int {
+			if tally[a] != tally[b] {
+				if tally[a] > tally[b] {
+					return -1
+				}
+				return 1
+			}
+			return int(a - b)
+		})
+		out = out[:max]
+		slices.Sort(out)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package splitter
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func voteSelect(votes []int32, numAttrs, max int) []int32 {
+	return VoteSelect(votes, numAttrs, max, make([]int32, numAttrs), nil)
+}
+
+func TestVoteSelect(t *testing.T) {
+	cases := []struct {
+		name     string
+		votes    []int32
+		numAttrs int
+		max      int
+		want     []int32
+	}{
+		{"empty", nil, 5, 2, []int32{}},
+		{"blanks only", []int32{-1, -1}, 5, 2, []int32{}},
+		{"under cap keeps all ascending", []int32{4, 0, 4, 2}, 5, 3, []int32{0, 2, 4}},
+		{"cap keeps most voted", []int32{3, 1, 3, 1, 3, 2}, 5, 2, []int32{1, 3}},
+		{"tie breaks to lower attr", []int32{4, 2, 3}, 5, 2, []int32{2, 3}},
+		{"negative max means no cap", []int32{0, 1, 2, 3}, 4, -1, []int32{0, 1, 2, 3}},
+		{"cap zero", []int32{0, 1}, 4, 0, []int32{}},
+	}
+	for _, tc := range cases {
+		got := voteSelect(tc.votes, tc.numAttrs, tc.max)
+		if !slices.Equal(got, tc.want) {
+			t.Errorf("%s: VoteSelect = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// The election must be a pure function of the ballot multiset: shuffling the
+// votes (any reordering of ballots across ranks) cannot change the elected
+// candidate set, and the result is always ascending, duplicate-free, within
+// the cap, and tie-broken deterministically.
+func TestVoteSelectPermutationInvariant(t *testing.T) {
+	prop := func(raw []uint8, numAttrsRaw, maxRaw uint8, shuffleSeed int64) bool {
+		numAttrs := int(numAttrsRaw%32) + 1
+		max := int(maxRaw % 8)
+		votes := make([]int32, len(raw))
+		for i, v := range raw {
+			// Mix in blanks so they are exercised too.
+			if v%7 == 0 {
+				votes[i] = -1
+			} else {
+				votes[i] = int32(int(v) % numAttrs)
+			}
+		}
+		base := slices.Clone(voteSelect(votes, numAttrs, max))
+		if len(base) > max {
+			return false
+		}
+		if !slices.IsSorted(base) || len(slices.Compact(slices.Clone(base))) != len(base) {
+			return false
+		}
+		rng := rand.New(rand.NewSource(shuffleSeed))
+		for round := 0; round < 4; round++ {
+			rng.Shuffle(len(votes), func(i, j int) { votes[i], votes[j] = votes[j], votes[i] })
+			if !slices.Equal(voteSelect(votes, numAttrs, max), base) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Attributes with equal vote counts are kept lowest-index-first: with every
+// attribute voted exactly once and a cap of k, the winners are 0..k-1.
+func TestVoteSelectTieDeterminism(t *testing.T) {
+	prop := func(numAttrsRaw, maxRaw, repRaw uint8, shuffleSeed int64) bool {
+		numAttrs := int(numAttrsRaw%24) + 1
+		max := int(maxRaw % 8)
+		reps := int(repRaw%3) + 1
+		votes := make([]int32, 0, numAttrs*reps)
+		for rep := 0; rep < reps; rep++ {
+			for a := 0; a < numAttrs; a++ {
+				votes = append(votes, int32(a))
+			}
+		}
+		rng := rand.New(rand.NewSource(shuffleSeed))
+		rng.Shuffle(len(votes), func(i, j int) { votes[i], votes[j] = votes[j], votes[i] })
+		got := voteSelect(votes, numAttrs, max)
+		n := max
+		if n > numAttrs {
+			n = numAttrs
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, a := range got {
+			if a != int32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// VoteSelect with pre-sized scratch must not allocate: it runs once per
+// need-split node per level on every rank.
+func TestVoteSelectAllocs(t *testing.T) {
+	const numAttrs = 64
+	votes := make([]int32, 256)
+	for i := range votes {
+		votes[i] = int32((i * 7) % numAttrs)
+	}
+	tally := make([]int32, numAttrs)
+	out := make([]int32, 0, numAttrs)
+	if allocs := testing.AllocsPerRun(10, func() {
+		out = VoteSelect(votes, numAttrs, 8, tally, out)
+	}); allocs != 0 {
+		t.Fatalf("VoteSelect allocates %v per call with pre-sized scratch", allocs)
+	}
+}
