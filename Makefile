@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race fuzz guard chaos tcp serve-test cover experiments examples clean
+.PHONY: all build vet test bench race fuzz guard chaos chaos-tcp tcp serve-test cover experiments examples clean
 
 all: build vet test
 
@@ -49,7 +49,17 @@ chaos:
 		-run 'Fault|Crash|Checkpoint|Straggler|Corrupt|Recover|Schedule|Detection|Shrink|Truncat' \
 		./internal/faults ./internal/comm ./internal/scalparc \
 		./internal/nodetable ./internal/extmem ./classify ./cmd/scalparc
-	$(GO) test -count=1 -run 'Crash|Shrink' ./internal/comm/tcptransport
+	$(GO) test -count=1 -run 'Crash|Shrink|Suspicion|Hung|Wire|Orphan' ./internal/comm/tcptransport
+	$(MAKE) chaos-tcp
+
+# Network chaos over real worker processes: the full wire-fault sweep
+# (hang/delay/reset/truncate at phase boundaries, p in {2,4}), each run
+# required to terminate within the detection bound and produce the
+# byte-identical tree of a fault-free run, plus the coordinator's
+# respawn-from-checkpoint path. No -race: these launch OS processes.
+chaos-tcp:
+	CHAOS_TCP=1 CHAOS_ARTIFACT_DIR="$(CHAOS_ARTIFACT_DIR)" $(GO) test -count=1 \
+		-timeout 10m -run 'TestTCPChaos|TestTCPOrphanRespawn' ./cmd/scalparc
 
 # The TCP transport backend: unit tests, the sim-vs-tcp differential
 # (byte-identical trees and modeled runtimes at p in {2,4}), and the
@@ -59,14 +69,16 @@ tcp:
 	$(GO) test -count=1 ./internal/comm/tcptransport
 	$(GO) test -count=1 -run 'TestTCP' ./cmd/scalparc
 
-# Short fuzzing passes over the CSV reader, the gini scan kernel, and the
-# compiled-vs-walker prediction differential (CI runs the same smokes).
+# Short fuzzing passes over the CSV reader, the gini scan kernel, the
+# compiled-vs-walker prediction differential, and the TCP frame decoder
+# (CI runs the same smokes).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dataset
 	$(GO) test -fuzz=FuzzSplitScan -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gini
 	$(GO) test -fuzz=FuzzPredict -fuzztime=$(FUZZTIME) -run='^$$' ./internal/infer
 	$(GO) test -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) -run='^$$' ./internal/serve
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) -run='^$$' ./internal/comm/tcptransport
 
 # Benchmark-regression guards, all CI steps; exit non-zero on regression:
 # GUARD-BINNED (binned reduce-scatter FindSplitI invariants), GUARD-VOTE

@@ -162,8 +162,14 @@ type Config struct {
 	// (0 disables; crashes then recover by full replay).
 	CheckpointEvery int
 	// CheckpointDir persists checkpoints to this directory; implies
-	// CheckpointEvery 1 when that is unset.
+	// CheckpointEvery 1 when that is unset. Required for checkpointing on
+	// a wire-backed world (per-process fragment files rendezvous there).
 	CheckpointDir string
+	// Resume starts training from the last complete checkpoint in
+	// CheckpointDir instead of from scratch. Only meaningful for
+	// TrainWorld on a wire-backed world (the coordinator's respawn path);
+	// Train rejects it.
+	Resume bool
 }
 
 func (c Config) splitterConfig() splitter.Config {
@@ -213,6 +219,10 @@ type Metrics struct {
 	FinalRanks int
 	// Lost lists the physical ranks lost to injected crashes.
 	Lost []int
+	// Suspicions counts peer failures detected by timeout rather than an
+	// observed connection close (wire transports with -detect-timeout;
+	// always zero on the simulated machine, where every death is seen).
+	Suspicions int64
 }
 
 // Model is a trained classifier.
@@ -236,17 +246,23 @@ func Train(tab *Table, cfg Config) (*Model, error) {
 	if (cfg.Split != SplitExact || cfg.Bins != 0 || cfg.VoteK != 0) && cfg.Algorithm != ScalParC {
 		return nil, fmt.Errorf("classify: binned and vote split finding require the ScalParC algorithm (got %v)", cfg.Algorithm)
 	}
-	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "") && cfg.Algorithm != ScalParC {
+	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "" || cfg.Resume) && cfg.Algorithm != ScalParC {
 		return nil, fmt.Errorf("classify: fault injection and checkpointing require the ScalParC algorithm (got %v)", cfg.Algorithm)
 	}
 	if cfg.CheckpointEvery < 0 {
 		return nil, fmt.Errorf("classify: negative checkpoint interval %d", cfg.CheckpointEvery)
+	}
+	if cfg.Resume {
+		return nil, fmt.Errorf("classify: Resume requires a wire-backed world (TrainWorld); the simulated machine replays in-process")
 	}
 	var schedule *faults.Schedule
 	if cfg.Faults != "" {
 		var err error
 		if schedule, err = faults.Parse(cfg.Faults, cfg.FaultSeed, p); err != nil {
 			return nil, err
+		}
+		if schedule.NeedsWire() {
+			return nil, fmt.Errorf("classify: hang faults require a wire transport (the simulated machine's ranks share one process)")
 		}
 	}
 
@@ -296,7 +312,7 @@ func TrainWorld(w *comm.World, tab *Table, cfg Config) (*Model, error) {
 	if (cfg.Split != SplitExact || cfg.Bins != 0 || cfg.VoteK != 0) && cfg.Algorithm != ScalParC {
 		return nil, fmt.Errorf("classify: binned and vote split finding require the ScalParC algorithm (got %v)", cfg.Algorithm)
 	}
-	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "") && cfg.Algorithm != ScalParC {
+	if (cfg.Faults != "" || cfg.CheckpointEvery != 0 || cfg.CheckpointDir != "" || cfg.Resume) && cfg.Algorithm != ScalParC {
 		return nil, fmt.Errorf("classify: fault injection and checkpointing require the ScalParC algorithm (got %v)", cfg.Algorithm)
 	}
 	var schedule *faults.Schedule
@@ -305,6 +321,12 @@ func TrainWorld(w *comm.World, tab *Table, cfg Config) (*Model, error) {
 		if schedule, err = faults.Parse(cfg.Faults, cfg.FaultSeed, w.Size()); err != nil {
 			return nil, err
 		}
+		if schedule.NeedsWire() && !w.Distributed() {
+			return nil, fmt.Errorf("classify: hang faults require a wire transport (the simulated machine's ranks share one process)")
+		}
+	}
+	if cfg.Resume && !w.Distributed() {
+		return nil, fmt.Errorf("classify: Resume requires a wire-backed world")
 	}
 	m, err := trainParallel(w, tab, cfg, schedule)
 	if err != nil {
@@ -329,6 +351,7 @@ func trainParallel(w *comm.World, tab *Table, cfg Config, schedule *faults.Sched
 			VoteK:           cfg.VoteK,
 			CheckpointEvery: cfg.CheckpointEvery,
 			CheckpointDir:   cfg.CheckpointDir,
+			Resume:          cfg.Resume,
 		}
 		if schedule != nil {
 			opts.Faults = schedule
@@ -353,6 +376,7 @@ func trainParallel(w *comm.World, tab *Table, cfg Config, schedule *faults.Sched
 	for _, s := range res.Stats {
 		m.Metrics.BytesSent += s.BytesSent
 		m.Metrics.BytesRecv += s.BytesRecv
+		m.Metrics.Suspicions += s.Suspicions
 	}
 	return m, nil
 }

@@ -101,7 +101,9 @@ func run(args []string, stdout io.Writer) error {
 	bins := fs.Int("bins", 0, "quantile bin cap for -split=binned or -split=vote (0 = default 256)")
 	voteK := fs.Int("vote-k", 0, "per-rank attribute nominations per node for -split=vote (0 = default 8)")
 	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. crash@FindSplitI:1:2 or random:4:crash,straggle (scalparc only)")
+	wireFaults := fs.String("wire-faults", "", "socket-level fault spec for -transport=tcp, e.g. reset@1:0 or delay@0:1:50ms#2 or random:3:reset,truncate")
 	faultSeed := fs.Int64("fault-seed", 0, "seed for random: fault specs (required non-zero for them)")
+	detectTimeout := fs.Duration("detect-timeout", 0, "suspect a silent peer after this long without traffic (-transport=tcp; 0 = fail-stop EOF detection only)")
 	ckptDir := fs.String("checkpoint", "", "persist level-boundary checkpoints to this directory (scalparc only)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint every k tree levels (0 = off, or 1 when -checkpoint is set)")
 	compileStats := fs.Bool("compile", false, "compile the tree for batch inference and print the flat-table stats")
@@ -155,10 +157,25 @@ func run(args []string, stdout io.Writer) error {
 	if *ckptEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", *ckptEvery)
 	}
+	detectSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "detect-timeout" {
+			detectSet = true
+		}
+	})
+	if detectSet && *detectTimeout <= 0 {
+		return fmt.Errorf("-detect-timeout must be > 0 (got %v); omit it for fail-stop EOF detection", *detectTimeout)
+	}
 	switch *transport {
 	case "sim":
 		if tcptransport.IsWorker() {
 			return fmt.Errorf("worker environment set but -transport is sim")
+		}
+		if detectSet {
+			return fmt.Errorf("-detect-timeout is wall-clock heartbeat detection and requires -transport=tcp (the simulated machine observes every death directly)")
+		}
+		if *wireFaults != "" {
+			return fmt.Errorf("-wire-faults strikes TCP frames and requires -transport=tcp")
 		}
 	case "tcp":
 		if algorithm != classify.ScalParC && algorithm != classify.SPRINT {
@@ -167,8 +184,8 @@ func run(args []string, stdout io.Writer) error {
 		if *cvFolds > 0 {
 			return fmt.Errorf("-cv requires -transport=sim")
 		}
-		if *ckptDir != "" || *ckptEvery != 0 {
-			return fmt.Errorf("-transport=tcp recovers by full replay; checkpointing requires -transport=sim")
+		if *ckptEvery != 0 && *ckptDir == "" {
+			return fmt.Errorf("-transport=tcp checkpoints are per-process frame files; -checkpoint-every needs -checkpoint DIR for shared stable storage")
 		}
 		if *phases || *traceOut != "" {
 			return fmt.Errorf("phase traces are per-process and do not cross the wire; -phases and -trace require -transport=sim")
@@ -179,8 +196,28 @@ func run(args []string, stdout io.Writer) error {
 	if *faultSpec != "" {
 		// Validate the spec (including the random-spec seed requirement)
 		// before any data is generated, so a bad flag fails fast.
-		if _, err := faults.Parse(*faultSpec, *faultSeed, *procs); err != nil {
+		sched, err := faults.Parse(*faultSpec, *faultSeed, *procs)
+		if err != nil {
 			return fmt.Errorf("-faults: %w", err)
+		}
+		if sched.NeedsWire() {
+			if *transport != "tcp" {
+				return fmt.Errorf("-faults: hang events silence a live process and require -transport=tcp")
+			}
+			if *detectTimeout <= 0 {
+				return fmt.Errorf("-faults: hang events never close a connection; peers need -detect-timeout to suspect the rank")
+			}
+		}
+	}
+	if *wireFaults != "" {
+		ws, err := faults.ParseWire(*wireFaults, *faultSeed, *procs)
+		if err != nil {
+			return fmt.Errorf("-wire-faults: %w", err)
+		}
+		for _, e := range ws.Events() {
+			if e.Kind == faults.WireHang && *detectTimeout <= 0 {
+				return fmt.Errorf("-wire-faults: hang events never close a connection; peers need -detect-timeout to suspect the rank")
+			}
 		}
 	}
 	if *ckptDir != "" {
@@ -280,10 +317,10 @@ func run(args []string, stdout io.Writer) error {
 	var model *classify.Model
 	switch {
 	case *transport == "tcp" && tcptransport.IsWorker():
-		return trainTCPWorker(train, trainCfg)
+		return trainTCPWorker(train, trainCfg, *detectTimeout, *wireFaults, *faultSeed)
 	case *transport == "tcp":
 		fmt.Fprintf(stdout, "tcp transport: %d rank processes over localhost\n", *procs)
-		model, err = trainTCPCoordinator(args, *procs, os.Stderr)
+		model, err = trainTCPCoordinator(args, *procs, os.Stderr, *detectTimeout, *ckptDir, stdout)
 	default:
 		model, err = classify.Train(train, trainCfg)
 	}
@@ -308,6 +345,9 @@ func run(args []string, stdout io.Writer) error {
 		if mm.Recoveries > 0 {
 			fmt.Fprintf(stdout, "recovered from %d failure(s): lost ranks %v, finished on %d processors\n",
 				mm.Recoveries, mm.Lost, mm.FinalRanks)
+		}
+		if mm.Suspicions > 0 {
+			fmt.Fprintf(stdout, "%d peer failure(s) detected by heartbeat timeout\n", mm.Suspicions)
 		}
 	}
 	if *prune {

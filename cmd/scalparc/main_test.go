@@ -329,6 +329,22 @@ func TestRunFaultFlagValidation(t *testing.T) {
 			"-procs", "2", "-faults", "crash@FindSplitI:1:7"}, "out of range"},
 		{"negative checkpoint interval", []string{"-quest-function", "1", "-records", "100",
 			"-checkpoint-every", "-2"}, "checkpoint-every"},
+		{"zero detect-timeout", []string{"-quest-function", "1", "-records", "100",
+			"-transport", "tcp", "-procs", "2", "-detect-timeout", "0s"}, "must be > 0"},
+		{"negative detect-timeout", []string{"-quest-function", "1", "-records", "100",
+			"-transport", "tcp", "-procs", "2", "-detect-timeout", "-1s"}, "must be > 0"},
+		{"detect-timeout on sim", []string{"-quest-function", "1", "-records", "100",
+			"-procs", "2", "-detect-timeout", "1s"}, "requires -transport=tcp"},
+		{"wire-faults on sim", []string{"-quest-function", "1", "-records", "100",
+			"-procs", "2", "-wire-faults", "reset@1:0"}, "requires -transport=tcp"},
+		{"hang without detect-timeout", []string{"-quest-function", "1", "-records", "100",
+			"-transport", "tcp", "-procs", "2", "-faults", "hang@FindSplitI:1:1"}, "-detect-timeout"},
+		{"wire hang without detect-timeout", []string{"-quest-function", "1", "-records", "100",
+			"-transport", "tcp", "-procs", "2", "-wire-faults", "hang@1:0"}, "-detect-timeout"},
+		{"bad wire-faults spec", []string{"-quest-function", "1", "-records", "100",
+			"-transport", "tcp", "-procs", "2", "-wire-faults", "melt@1:0"}, "-wire-faults"},
+		{"wire-faults rank out of range", []string{"-quest-function", "1", "-records", "100",
+			"-transport", "tcp", "-procs", "2", "-wire-faults", "reset@7:0"}, "-wire-faults"},
 	}
 	for _, c := range cases {
 		err := run(c.args, &out)

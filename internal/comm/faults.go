@@ -76,9 +76,13 @@ type Site struct {
 // FaultAction is an injector's verdict for one Site. The zero value means
 // "no fault". Crash wins over the others; Drop and Corrupt on p2p ops are
 // modeled as detected-and-retransmitted; Corrupt on a collective raises a
-// *ProtocolError.
+// *ProtocolError. Hang — the rank goes silent without exiting, so peers
+// must suspect it by timeout rather than observe a death — is expressible
+// only on a wire transport and is rejected at validation on the
+// simulated machine.
 type FaultAction struct {
 	Crash     bool
+	Hang      bool
 	Drop      bool
 	Corrupt   bool
 	SkewPicos int64 // straggler slowdown as virtual-clock skew

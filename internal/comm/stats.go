@@ -34,6 +34,11 @@ type Stats struct {
 	Crashes      int64
 	FailuresSeen int64
 	Shrinks      int64
+	// Suspicions counts peer failures this rank detected by timeout
+	// (a read deadline expiring on a silent connection) rather than by
+	// an observed EOF — only a wire transport with bounded-time
+	// detection enabled ever reports them.
+	Suspicions int64
 }
 
 // Add accumulates other into s.
@@ -59,6 +64,7 @@ func (s *Stats) Add(other Stats) {
 	s.Crashes += other.Crashes
 	s.FailuresSeen += other.FailuresSeen
 	s.Shrinks += other.Shrinks
+	s.Suspicions += other.Suspicions
 }
 
 // MemMeter tracks one rank's current and peak tracked memory, in bytes.

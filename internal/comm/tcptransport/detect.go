@@ -1,0 +1,213 @@
+package tcptransport
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// This file is the bounded-time failure detector and the socket-level
+// fault hooks. Both are inert unless enabled: with a zero detection
+// timeout the transport behaves exactly as the original fail-stop
+// (EOF-only) backend, and with no wire injector the write path is
+// untouched.
+//
+// Detector shape: each rank heartbeats every peer at detect/3 and arms a
+// read deadline of detect on every inbound connection, so a healthy peer
+// has three heartbeat opportunities per deadline window — one lost
+// scheduling quantum or GC pause does not trigger a false suspicion. The
+// deadline is re-armed before every read, including the reads inside one
+// large frame, so a slow multi-chunk payload that is still making
+// progress never times out.
+//
+// A suspicion is converted to a fail-stop by closing the suspect's
+// connection: if the suspect was actually alive it observes EOF and
+// treats this rank as dead in turn, so the two verdicts are symmetric
+// and the shrink masks converge. The cost of a false suspicion is
+// therefore a lost rank (safe — recovery handles it), never divergence.
+
+// ErrOrphaned reports that the local rank lost every peer within one
+// epoch while bounded-time detection was active. Under detection, "the
+// whole world died at once" is overwhelmingly more likely to mean this
+// rank was the one partitioned, hung, or suspected — so it aborts
+// instead of continuing alone and publishing a minority result. The
+// coordinator respawns the true survivors from the last checkpoint.
+var ErrOrphaned = errors.New("tcptransport: rank orphaned (lost every peer under bounded-time detection)")
+
+// heartbeatDivisor is how many heartbeat intervals fit in one detection
+// timeout.
+const heartbeatDivisor = 3
+
+// deadlineReader arms a fresh read deadline before every Read, so a
+// connection only times out after a full window with no bytes at all.
+type deadlineReader struct {
+	c net.Conn
+	d time.Duration
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	if err := r.c.SetReadDeadline(time.Now().Add(r.d)); err != nil {
+		return 0, err
+	}
+	return r.c.Read(p)
+}
+
+// heartbeater keeps every connection warm so peers' read deadlines only
+// fire against ranks that are genuinely silent. It runs until teardown.
+func (t *T) heartbeater() {
+	interval := t.detect / heartbeatDivisor
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	hb := wireFrame{tag: comm.TagHeartbeat}
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-ticker.C:
+		}
+		if t.hung.Load() {
+			// A wire-level hang silences the whole NIC, heartbeats
+			// included — that is the point of the fault.
+			continue
+		}
+		for peer := range t.conns {
+			if t.conns[peer] == nil {
+				continue
+			}
+			t.mu.Lock()
+			skip := !t.live[peer] || t.killed || t.closed
+			if !skip && t.frozenUntil != nil && time.Now().Before(t.frozenUntil[peer]) {
+				skip = true // a delay fault freezes this pair's heartbeats too
+			}
+			t.mu.Unlock()
+			if skip {
+				continue
+			}
+			t.wmu[peer].Lock()
+			if c := t.conns[peer]; c != nil {
+				// A write deadline so a peer that stopped reading (its
+				// socket buffer is full) cannot wedge the heartbeater —
+				// the failed write costs nothing; the peer's own reader
+				// deadline handles its fate.
+				c.SetWriteDeadline(time.Now().Add(interval))
+				hb.epoch = t.epochNow()
+				_ = writeFrame(c, hb)
+				c.SetWriteDeadline(time.Time{})
+			}
+			t.wmu[peer].Unlock()
+		}
+	}
+}
+
+func (t *T) epochNow() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// stopHeartbeat is idempotent and safe before the heartbeater exists.
+func (t *T) stopHeartbeat() {
+	t.hbOnce.Do(func() {
+		if t.hbStop != nil {
+			close(t.hbStop)
+		}
+	})
+}
+
+// Suspicions returns how many peers this rank declared dead on a read
+// deadline (rather than an EOF). The World layer folds it into
+// Stats.Suspicions.
+func (t *T) Suspicions() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nSuspect
+}
+
+// SetWireInjector installs a socket-level fault injector on the frame
+// send path. Must be set before any operation runs.
+func (t *T) SetWireInjector(inj comm.WireFaultInjector) {
+	t.winj = inj
+}
+
+// Hang drops this rank off the wire without killing the process: the
+// heartbeater falls silent, outbound frames are discarded, and the
+// caller blocks forever. Peers suspect the rank within the detection
+// timeout and shrink past it; the hung process is reaped by the
+// coordinator's watchdog. This is the phase-addressed `hang` fault kind
+// — only a wire transport can express it (the simulated machine's ranks
+// share one process and may not block forever).
+func (t *T) Hang() {
+	t.hung.Store(true)
+	select {}
+}
+
+// applyWireFault runs the injector's verdict for one outbound data
+// frame. It is called with wmu[peer] held and returns (handled, err):
+// handled means the frame must not be written normally.
+func (t *T) applyWireFault(peer int, f wireFrame) (bool, error) {
+	if t.winj == nil || f.tag == comm.TagHeartbeat {
+		return false, nil
+	}
+	nth := t.nsent[peer]
+	t.nsent[peer]++
+	act := t.winj.WireAct(comm.WireSite{Rank: t.rank, Peer: peer, Nth: nth})
+	if act == (comm.WireAction{}) {
+		return false, nil
+	}
+	c := t.conns[peer]
+	switch {
+	case act.Hang:
+		t.hung.Store(true)
+		return true, nil // silent NIC: frame vanishes, rank keeps computing
+	case act.Reset:
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0) // RST, not FIN
+		}
+		c.Close()
+		return true, ErrPeerFailed
+	case act.Truncate:
+		// A torn stream: half a frame, then close. The receiver's next
+		// read fails mid-frame (unexpected EOF), the exact shape of a
+		// sender dying inside a write.
+		buf := make([]byte, 4+hdrLen+len(f.data))
+		writeWireBytes(buf, f)
+		_, _ = c.Write(buf[:len(buf)/2])
+		c.Close()
+		return true, ErrPeerFailed
+	case act.DelayNanos > 0:
+		d := time.Duration(act.DelayNanos)
+		t.mu.Lock()
+		if t.frozenUntil == nil {
+			t.frozenUntil = make([]time.Time, t.p)
+		}
+		t.frozenUntil[peer] = time.Now().Add(d)
+		t.mu.Unlock()
+		time.Sleep(d)
+		return false, nil // then send normally
+	}
+	return false, nil
+}
+
+// writeWireBytes encodes f into buf (sized 4+hdrLen+len(f.data)) without
+// writing it — the truncate fault needs the raw bytes to tear.
+func writeWireBytes(buf []byte, f wireFrame) {
+	var bw byteSliceWriter
+	bw.buf = buf[:0]
+	_ = writeFrame(&bw, f)
+}
+
+type byteSliceWriter struct{ buf []byte }
+
+func (w *byteSliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// isTimeout reports whether a reader error was a read-deadline expiry —
+// the suspicion signal — as opposed to EOF or a reset.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/comm"
 )
@@ -44,6 +47,21 @@ type T struct {
 	killed   bool
 	closed   bool
 	onFail   func(phys int)
+
+	// Bounded-time detection (see detect.go). All zero/nil when the
+	// transport is built without a detection timeout.
+	detect      time.Duration
+	suspected   []bool      // peer declared dead by deadline, not EOF
+	nSuspect    int64       // count of suspicions (under mu)
+	frozenUntil []time.Time // delay-fault freeze per connection (under mu)
+	hbStop      chan struct{}
+	hbOnce      sync.Once
+	hung        atomic.Bool // wire hang latched: all writes vanish
+
+	// Socket-level fault injection (see detect.go). nsent counts
+	// non-heartbeat frames per destination, each entry under wmu[peer].
+	winj  comm.WireFaultInjector
+	nsent []int
 }
 
 // Listen binds one localhost listener per rank and returns them with
@@ -70,6 +88,14 @@ func Listen(p int) ([]net.Listener, []string, error) {
 // accept from every higher rank, then start the per-peer readers. It
 // takes ownership of ln.
 func Connect(rank int, ln net.Listener, addrs []string) (*T, error) {
+	return ConnectTimeout(rank, ln, addrs, 0)
+}
+
+// ConnectTimeout is Connect with bounded-time failure detection: with a
+// positive detect, the transport heartbeats every peer at detect/3 and
+// suspects (then treats as failed) any connection silent for detect.
+// Zero detect keeps the EOF-only fail-stop behavior.
+func ConnectTimeout(rank int, ln net.Listener, addrs []string, detect time.Duration) (*T, error) {
 	p := len(addrs)
 	if p < 1 || p > 64 {
 		ln.Close()
@@ -80,15 +106,18 @@ func Connect(rank int, ln net.Listener, addrs []string) (*T, error) {
 		return nil, fmt.Errorf("tcptransport: rank %d out of range [0,%d)", rank, p)
 	}
 	t := &T{
-		rank:     rank,
-		p:        p,
-		ln:       ln,
-		conns:    make([]net.Conn, p),
-		wmu:      make([]sync.Mutex, p),
-		queues:   make([][comm.NumTags][]wireFrame, p),
-		live:     make([]bool, p),
-		reported: make([]bool, p),
-		prevLive: make([]bool, p),
+		rank:      rank,
+		p:         p,
+		ln:        ln,
+		conns:     make([]net.Conn, p),
+		wmu:       make([]sync.Mutex, p),
+		queues:    make([][comm.NumTags][]wireFrame, p),
+		live:      make([]bool, p),
+		reported:  make([]bool, p),
+		prevLive:  make([]bool, p),
+		detect:    detect,
+		suspected: make([]bool, p),
+		nsent:     make([]int, p),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	for i := range t.live {
@@ -128,6 +157,10 @@ func Connect(rank int, ln net.Listener, addrs []string) (*T, error) {
 			go t.reader(peer, c)
 		}
 	}
+	if t.detect > 0 && p > 1 {
+		t.hbStop = make(chan struct{})
+		go t.heartbeater()
+	}
 	return t, nil
 }
 
@@ -154,16 +187,33 @@ func (t *T) Dead() []int {
 }
 
 // reader drains one peer's connection into the tag queues. EOF (or any
-// read error) is that peer's fail-stop death.
+// read error) is that peer's fail-stop death; with detection enabled, a
+// read-deadline expiry is a suspicion, converted to a fail-stop by
+// closing the connection so the suspect (if alive) sees EOF in turn.
 func (t *T) reader(peer int, c net.Conn) {
+	r := io.Reader(c)
+	if t.detect > 0 {
+		r = &deadlineReader{c: c, d: t.detect}
+	}
 	for {
-		f, err := readFrame(c)
+		f, err := readFrameFrom(r)
 		if err != nil {
+			timedOut := t.detect > 0 && isTimeout(err)
+			if timedOut {
+				c.Close()
+			}
 			t.mu.Lock()
 			t.live[peer] = false
+			if timedOut && !t.suspected[peer] {
+				t.suspected[peer] = true
+				t.nSuspect++
+			}
 			t.cond.Broadcast()
 			t.mu.Unlock()
 			return
+		}
+		if f.tag == comm.TagHeartbeat {
+			continue
 		}
 		t.mu.Lock()
 		if f.epoch >= t.epoch {
@@ -279,9 +329,18 @@ func (t *T) epochPeersLocked() []int {
 func (t *T) write(peer int, f wireFrame) error {
 	t.wmu[peer].Lock()
 	defer t.wmu[peer].Unlock()
+	if t.hung.Load() {
+		return nil // silent NIC: the frame vanishes without error
+	}
 	c := t.conns[peer]
 	if c == nil {
 		return ErrPeerFailed
+	}
+	if t.winj != nil {
+		handled, err := t.applyWireFault(peer, f)
+		if handled || err != nil {
+			return err
+		}
 	}
 	return writeFrame(c, f)
 }
@@ -436,8 +495,13 @@ func (t *T) Shrink(clock int64) ([]int, int64, error) {
 		progressed := false
 		for _, peer := range pending {
 			if union&(1<<peer) != 0 {
-				// Another survivor reported this peer dead; fail-stop
-				// reports are never false, so stop waiting for its mask.
+				// Another survivor reported this peer dead. Without
+				// detection such reports are never false; with it the peer
+				// may merely be suspected-but-alive — either way the group
+				// has committed to excluding it, so stop waiting for its
+				// mask (its connection is closed below, which turns the
+				// verdict into an EOF on its side and keeps views
+				// symmetric).
 				t.live[peer] = false
 				progressed = true
 				continue
@@ -476,6 +540,33 @@ func (t *T) Shrink(clock int64) ([]int, int64, error) {
 			t.reported[r] = true
 		}
 	}
+	if t.detect > 0 {
+		// Under bounded-time detection a shrink verdict can name a rank
+		// that is still running (a suspicion). Two refinements keep that
+		// safe. Eviction: if the union names this rank, the surviving
+		// partition has already agreed to go on without it — abort rather
+		// than fork the world. Orphan rule: a rank that just lost every
+		// peer of a multi-rank epoch at once is overwhelmingly the hung/
+		// partitioned party, not the last survivor; abort and let the
+		// coordinator respawn the true survivors from the checkpoint.
+		evicted := union&(1<<t.rank) != 0
+		if evicted || (len(t.livePeersLocked()) == 0 && len(t.epochPeersLocked()) > 0) {
+			t.inShrink = false
+			t.mu.Unlock()
+			return nil, 0, ErrOrphaned
+		}
+	}
+	// Connections to ranks the union declared dead but whose sockets are
+	// still open (reported by another survivor's deadline, not observed
+	// here) are closed after the lock drops: the close delivers the
+	// verdict to a suspected-but-alive rank as an EOF, so it exits via
+	// its own orphan rule instead of waiting forever on the old epoch.
+	var toClose []int
+	for _, r := range lost {
+		if t.conns[r] != nil {
+			toClose = append(toClose, r)
+		}
+	}
 	copy(t.prevLive, t.live)
 	t.epoch++
 	t.inShrink = false
@@ -498,6 +589,13 @@ func (t *T) Shrink(clock int64) ([]int, int64, error) {
 		}
 	}
 	t.mu.Unlock()
+	for _, r := range toClose {
+		t.wmu[r].Lock()
+		if t.conns[r] != nil {
+			t.conns[r].Close()
+		}
+		t.wmu[r].Unlock()
+	}
 	return lost, maxClock, nil
 }
 
@@ -532,6 +630,7 @@ func (t *T) Close() error {
 }
 
 func (t *T) teardown() {
+	t.stopHeartbeat()
 	if t.ln != nil {
 		t.ln.Close()
 	}

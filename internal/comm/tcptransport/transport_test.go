@@ -1,6 +1,7 @@
 package tcptransport
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"reflect"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/classify"
 	"repro/internal/comm"
 	"repro/internal/timing"
 )
@@ -251,14 +253,74 @@ func TestSendAfterShrinkUsesDenseIds(t *testing.T) {
 	}
 }
 
-func TestWorldRejectsCheckpointingOnWire(t *testing.T) {
-	ts, err := ConnectLocal(1)
+// TestWireCheckpointCrashRecovery replaces the old rejection test
+// (checkpointing used to be refused on wire worlds): a full training run
+// over the TCP mesh with per-level checkpoints to a shared directory,
+// one rank crashed mid-induction, must recover in-process via shrink +
+// checkpoint restore and produce the byte-identical tree of the
+// fault-free oracle.
+func TestWireCheckpointCrashRecovery(t *testing.T) {
+	tab, err := classify.GenerateQuest(classify.QuestConfig{Function: 2, Records: 800, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ts[0].Close()
-	w := comm.NewTransportWorld(ts[0], timing.T3D())
-	if !w.Distributed() {
-		t.Fatal("transport world does not report Distributed")
+	clean, err := classify.Train(tab, classify.Config{Processors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const p, victim = 3, 2
+	ts, err := ConnectLocal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+	cfg := classify.Config{
+		Faults:          "crash@PerformSplitI:1:2",
+		CheckpointEvery: 1,
+		CheckpointDir:   t.TempDir(),
+	}
+	models := make([]*classify.Model, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i, tr := range ts {
+		w := comm.NewTransportWorld(tr, timing.T3D())
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			models[i], errs[i] = classify.TrainWorld(w, tab, cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	if errs[victim] == nil {
+		t.Fatal("the crashed rank trained to completion")
+	}
+	var cleanTree, wireTree bytes.Buffer
+	if err := clean.Tree.Encode(&cleanTree); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		if errs[r] != nil {
+			t.Fatalf("survivor %d failed: %v", r, errs[r])
+		}
+		wireTree.Reset()
+		if err := models[r].Tree.Encode(&wireTree); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cleanTree.Bytes(), wireTree.Bytes()) {
+			t.Fatalf("survivor %d's recovered tree is not byte-identical to the fault-free oracle", r)
+		}
+		mm := models[r].Metrics
+		if mm.Recoveries != 1 || mm.FinalRanks != p-1 || len(mm.Lost) != 1 || mm.Lost[0] != victim {
+			t.Fatalf("survivor %d recovery metrics %+v", r, mm)
+		}
 	}
 }

@@ -10,11 +10,20 @@
 // coordinator or by ConnectLocal) before any rank starts connecting, so
 // dials never race the accept side.
 //
-// Failure detection is fail-stop: a dying rank closes its connections
-// (deliberately on an injected crash via Kill, implicitly on any exit),
-// and every peer's reader observes EOF. There are no timeouts and no
-// false suspicions — exactly the failure model the simulated machine's
-// recovery protocol assumes.
+// Failure detection has two modes. The base mode is fail-stop: a dying
+// rank closes its connections (deliberately on an injected crash via
+// Kill, implicitly on any exit), and every peer's reader observes EOF —
+// no timeouts, no false suspicions. With a detection timeout configured
+// (ConnectTimeout and friends), detection becomes bounded-time: every
+// rank heartbeats each peer at a third of the timeout, every reader arms
+// a read deadline of the full timeout, and a connection silent past the
+// deadline is *suspected*. A suspicion is converted to a fail-stop by
+// closing the suspect's connection, so the suspect — if actually alive —
+// observes EOF and both sides converge on the same verdict; a false
+// suspicion therefore costs a rank, never consistency. A rank that loses
+// every peer in one epoch under bounded-time detection aborts as
+// orphaned instead of continuing alone (see Shrink), which keeps a
+// partitioned or suspected rank from publishing a minority result.
 //
 // Recovery uses epochs. Every frame carries its sender's epoch; Shrink
 // is a one-round rendezvous in which survivors exchange dead-set
@@ -31,7 +40,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"net"
 
 	"repro/internal/comm"
 )
@@ -43,6 +51,12 @@ import (
 const (
 	hdrLen   = 1 + 4 + 8 + 8
 	maxFrame = 1 << 30
+
+	// payloadChunk bounds how much readFrameFrom allocates ahead of the
+	// bytes actually present on the stream: payload buffers grow chunk by
+	// chunk, so a lying length prefix on a truncated stream can never
+	// force a near-maxFrame up-front allocation.
+	payloadChunk = 64 << 10
 )
 
 type wireFrame struct {
@@ -53,7 +67,7 @@ type wireFrame struct {
 	data  []byte
 }
 
-func writeFrame(c net.Conn, f wireFrame) error {
+func writeFrame(w io.Writer, f wireFrame) error {
 	buf := make([]byte, 4+hdrLen+len(f.data))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(hdrLen+len(f.data)))
 	buf[4] = byte(f.tag)
@@ -61,49 +75,84 @@ func writeFrame(c net.Conn, f wireFrame) error {
 	binary.LittleEndian.PutUint64(buf[9:], f.epoch)
 	binary.LittleEndian.PutUint64(buf[17:], uint64(f.clock))
 	copy(buf[4+hdrLen:], f.data)
-	_, err := c.Write(buf)
+	_, err := w.Write(buf)
 	return err
 }
 
-func readFrame(c net.Conn) (wireFrame, error) {
+// readFrameFrom decodes one length-prefixed frame from the stream. Every
+// malformed input — bad length, unknown tag, truncation anywhere — is a
+// returned error, never a panic, and the payload is read incrementally
+// so allocation is bounded by the bytes actually delivered (plus one
+// chunk), not by the advertised length.
+func readFrameFrom(r io.Reader) (wireFrame, error) {
 	var lb [4]byte
-	if _, err := io.ReadFull(c, lb[:]); err != nil {
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
 		return wireFrame{}, err
 	}
 	n := binary.LittleEndian.Uint32(lb[:])
 	if n < hdrLen || n > maxFrame {
 		return wireFrame{}, fmt.Errorf("tcptransport: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(c, buf); err != nil {
+	var hdr [hdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return wireFrame{}, err
 	}
 	f := wireFrame{
-		tag:   comm.Tag(buf[0]),
-		elem:  binary.LittleEndian.Uint32(buf[1:]),
-		epoch: binary.LittleEndian.Uint64(buf[5:]),
-		clock: int64(binary.LittleEndian.Uint64(buf[13:])),
+		tag:   comm.Tag(hdr[0]),
+		elem:  binary.LittleEndian.Uint32(hdr[1:]),
+		epoch: binary.LittleEndian.Uint64(hdr[5:]),
+		clock: int64(binary.LittleEndian.Uint64(hdr[13:])),
 	}
 	if int(f.tag) >= comm.NumTags {
 		return wireFrame{}, fmt.Errorf("tcptransport: unknown frame tag %d", f.tag)
 	}
-	if n > hdrLen {
-		f.data = buf[hdrLen:]
+	if payload := int(n) - hdrLen; payload > 0 {
+		data, err := readPayload(r, payload)
+		if err != nil {
+			return wireFrame{}, err
+		}
+		f.data = data
 	}
 	return f, nil
 }
 
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	cap0 := n
+	if cap0 > payloadChunk {
+		cap0 = payloadChunk
+	}
+	buf := make([]byte, 0, cap0)
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > payloadChunk {
+			chunk = payloadChunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
 // hello identifies the dialing rank to the accepting side.
-func writeHello(c net.Conn, rank int) error {
+func writeHello(w io.Writer, rank int) error {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], uint32(rank))
-	_, err := c.Write(b[:])
+	_, err := w.Write(b[:])
 	return err
 }
 
-func readHello(c net.Conn) (int, error) {
+func readHello(r io.Reader) (int, error) {
 	var b [4]byte
-	if _, err := io.ReadFull(c, b[:]); err != nil {
+	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, err
 	}
 	return int(binary.LittleEndian.Uint32(b[:])), nil

@@ -622,6 +622,16 @@ func (c *Comm) enterOp(op Op) {
 		w.stats[c.rank].Straggles++
 		c.Event("fault:straggle")
 	}
+	if act.Hang {
+		h, ok := w.tr.(interface{ Hang() })
+		if !ok {
+			// Validated away at config parse time: the simulated machine's
+			// ranks share one process and may not block forever.
+			panic(fmt.Sprintf("comm: hang fault injected on rank %d but the backend cannot hang a rank (wire transports only)", c.rank))
+		}
+		c.Event("fault:hang")
+		h.Hang() // never returns: the rank goes silent but keeps running
+	}
 	if act.Crash {
 		if w.markDead(c.rank, ErrCrashed) {
 			w.stats[c.rank].Crashes++
@@ -675,6 +685,15 @@ func (c *Comm) failNow() {
 		c.advance(w.detectPicos)
 		w.stats[c.rank].FailuresSeen++
 		c.Event("fault:detected")
+		// A wire transport with bounded-time detection distinguishes
+		// timeout-suspected deaths from observed EOFs; fold its counter
+		// into this rank's Stats so suspicion shows up next to Shrinks.
+		if sc, ok := w.tr.(interface{ Suspicions() int64 }); ok {
+			if n := sc.Suspicions(); n > w.stats[c.rank].Suspicions {
+				w.stats[c.rank].Suspicions = n
+				c.Event("fault:suspected")
+			}
+		}
 	}
 	panic(&RankFailure{Lost: lost, Cause: cause})
 }

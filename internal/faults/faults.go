@@ -38,9 +38,15 @@ const (
 	Corrupt
 	// Straggle slows the rank down by SkewPicos of virtual time.
 	Straggle
+	// Hang silences the rank without killing it: the process keeps
+	// running but never communicates again, so peers must suspect it by
+	// timeout. Only a wire transport with bounded-time detection can
+	// express (or survive) it — validation rejects hang events on the
+	// simulated machine.
+	Hang
 )
 
-var kindNames = [...]string{"crash", "drop", "corrupt", "straggle"}
+var kindNames = [...]string{"crash", "drop", "corrupt", "straggle", "hang"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -136,6 +142,8 @@ func (s *Schedule) Act(at comm.Site) comm.FaultAction {
 			act.Corrupt = true
 		case Straggle:
 			act.SkewPicos += e.SkewPicos
+		case Hang:
+			act.Hang = true
 		}
 	}
 	return act
@@ -168,11 +176,25 @@ func (s *Schedule) Recoverable() bool {
 	return true
 }
 
+// NeedsWire reports whether the schedule contains events only a wire
+// transport can express (hangs): the simulated machine's ranks share one
+// process and may not block forever.
+func (s *Schedule) NeedsWire() bool {
+	for _, e := range s.events {
+		if e.Kind == Hang {
+			return true
+		}
+	}
+	return false
+}
+
 // Random generates n events, reproducible from the seed: kinds drawn from
-// kinds (all four if empty), ranks in [0, p), phases across the induction
-// phases, levels in [0, maxLevel], straggle skews up to 1ms of virtual
-// time. At most one Crash per rank is generated so a schedule can never
-// ask to kill the whole machine.
+// kinds (the original four — crash, drop, corrupt, straggle — if empty;
+// Hang must be asked for explicitly since only a wire transport accepts
+// it), ranks in [0, p), phases across the induction phases, levels in
+// [0, maxLevel], straggle skews up to 1ms of virtual time. At most one
+// Crash or Hang per rank is generated so a schedule can never ask to
+// take down the whole machine.
 func Random(seed int64, p, n, maxLevel int, kinds ...Kind) *Schedule {
 	if len(kinds) == 0 {
 		kinds = []Kind{Crash, Drop, Corrupt, Straggle}
@@ -189,7 +211,7 @@ func Random(seed int64, p, n, maxLevel int, kinds ...Kind) *Schedule {
 			Level: rng.Intn(maxLevel + 1),
 			Kind:  kinds[rng.Intn(len(kinds))],
 		}
-		if e.Kind == Crash {
+		if e.Kind == Crash || e.Kind == Hang {
 			if crashed[e.Rank] {
 				continue
 			}
@@ -258,7 +280,7 @@ func parseKind(s string) (Kind, error) {
 			return Kind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("faults: unknown kind %q (want crash, drop, corrupt, or straggle)", s)
+	return 0, fmt.Errorf("faults: unknown kind %q (want crash, drop, corrupt, straggle, or hang)", s)
 }
 
 func parsePhase(s string) (trace.Phase, error) {

@@ -1,0 +1,281 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Wire-granularity fault injection: where Schedule strikes communication
+// *operations* at (rank, phase, level) sites, WireSchedule strikes
+// individual *frames* at (rank, peer, nth-frame) sites on the TCP
+// backend's send path, implementing comm.WireFaultInjector. The same
+// design rules apply — one-shot events, deterministic from the spec (and
+// seed, for the random form), so a chaos run that tears a connection
+// reproduces exactly.
+
+// WireKind classifies a socket-level fault.
+type WireKind uint8
+
+const (
+	// WireHang silences the sender's entire NIC from the struck frame on:
+	// heartbeats stop, frames vanish, the process keeps running. Peers
+	// must suspect the rank by timeout.
+	WireHang WireKind = iota
+	// WireDelay freezes the (rank, peer) connection — data and
+	// heartbeats — for the event's Delay before sending. A delay shorter
+	// than the detection timeout is benign; a longer one gets the sender
+	// suspected.
+	WireDelay
+	// WireReset closes the connection to the peer with a TCP RST.
+	WireReset
+	// WireTruncate writes half the frame and closes — a torn stream, the
+	// wire shape of a sender dying mid-write.
+	WireTruncate
+)
+
+var wireKindNames = [...]string{"hang", "delay", "reset", "truncate"}
+
+func (k WireKind) String() string {
+	if int(k) < len(wireKindNames) {
+		return wireKindNames[k]
+	}
+	return fmt.Sprintf("WireKind(%d)", int(k))
+}
+
+// WireEvent schedules one socket-level fault on the Nth (0-based,
+// counted per destination) data frame rank Rank sends to Peer. Peer -1
+// matches any destination.
+type WireEvent struct {
+	Rank  int
+	Peer  int
+	Nth   int
+	Kind  WireKind
+	Delay time.Duration
+}
+
+func (e WireEvent) String() string {
+	peer := "*"
+	if e.Peer >= 0 {
+		peer = strconv.Itoa(e.Peer)
+	}
+	s := fmt.Sprintf("%s@%d:%s", e.Kind, e.Rank, peer)
+	if e.Kind == WireDelay {
+		s += fmt.Sprintf(":%v", e.Delay)
+	}
+	if e.Nth != 0 {
+		s += fmt.Sprintf("#%d", e.Nth)
+	}
+	return s
+}
+
+// WireSchedule is a deterministic set of one-shot wire events. The
+// transport counts frames per destination and hands the count in via
+// WireSite; the schedule only matches and latches. Unlike Schedule it
+// carries a mutex: ConnectLocal-style tests share one instance across
+// every rank's goroutines in a single process.
+type WireSchedule struct {
+	mu     sync.Mutex
+	events []WireEvent
+	fired  []bool
+}
+
+// NewWireSchedule builds a wire schedule. Events with ranks outside the
+// world never fire.
+func NewWireSchedule(events ...WireEvent) *WireSchedule {
+	return &WireSchedule{
+		events: append([]WireEvent(nil), events...),
+		fired:  make([]bool, len(events)),
+	}
+}
+
+// WireAct implements comm.WireFaultInjector.
+func (s *WireSchedule) WireAct(at comm.WireSite) comm.WireAction {
+	var act comm.WireAction
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.events {
+		e := &s.events[i]
+		if s.fired[i] || e.Rank != at.Rank || (e.Peer >= 0 && e.Peer != at.Peer) || e.Nth != at.Nth {
+			continue
+		}
+		s.fired[i] = true
+		switch e.Kind {
+		case WireHang:
+			act.Hang = true
+		case WireDelay:
+			act.DelayNanos += e.Delay.Nanoseconds()
+		case WireReset:
+			act.Reset = true
+		case WireTruncate:
+			act.Truncate = true
+		}
+	}
+	return act
+}
+
+// Events returns the schedule's events.
+func (s *WireSchedule) Events() []WireEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]WireEvent(nil), s.events...)
+}
+
+// Fired returns how many events have fired so far.
+func (s *WireSchedule) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// RandomWire generates n wire events, reproducible from the seed: kinds
+// drawn from kinds (all four if empty), sender ranks and destination
+// peers in [0, p) (never equal), frame indexes in [0, 16), delays in
+// (0, 10ms]. At most one hang per rank, mirroring Random's crash cap.
+func RandomWire(seed int64, p, n int, kinds ...WireKind) *WireSchedule {
+	if len(kinds) == 0 {
+		kinds = []WireKind{WireHang, WireDelay, WireReset, WireTruncate}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hung := make([]bool, p)
+	events := make([]WireEvent, 0, n)
+	for len(events) < n {
+		e := WireEvent{
+			Rank: rng.Intn(p),
+			Peer: rng.Intn(p),
+			Nth:  rng.Intn(16),
+			Kind: kinds[rng.Intn(len(kinds))],
+		}
+		if p > 1 && e.Peer == e.Rank {
+			continue
+		}
+		if e.Kind == WireHang {
+			if hung[e.Rank] {
+				continue
+			}
+			hung[e.Rank] = true
+		}
+		if e.Kind == WireDelay {
+			e.Delay = time.Duration(1+rng.Int63n(10_000_000)) * time.Nanosecond
+		}
+		events = append(events, e)
+	}
+	return NewWireSchedule(events...)
+}
+
+// ParseWire builds a wire schedule for a p-rank world from a
+// -wire-faults flag spec: a comma-separated list of events
+//
+//	kind@rank:peer           e.g. reset@1:0, truncate@0:2, hang@2:*
+//	delay@rank:peer:dur      e.g. delay@0:1:50ms
+//
+// optionally suffixed #n to strike the n-th (0-based) data frame from
+// rank to peer (with peer *, the first destination whose per-destination
+// count reaches n), or the form
+//
+//	random:n[:kinds]         e.g. random:3:reset,truncate
+//
+// which draws n events from the seed (required non-zero, as in Parse).
+func ParseWire(spec string, seed int64, p int) (*WireSchedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("faults: empty wire spec")
+	}
+	if rest, ok := strings.CutPrefix(spec, "random:"); ok {
+		if seed == 0 {
+			return nil, fmt.Errorf("faults: %q requires an explicit non-zero seed (-fault-seed)", spec)
+		}
+		parts := strings.SplitN(rest, ":", 2)
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faults: bad random wire event count %q", parts[0])
+		}
+		var kinds []WireKind
+		if len(parts) == 2 {
+			for _, ks := range strings.Split(parts[1], ",") {
+				k, err := parseWireKind(ks)
+				if err != nil {
+					return nil, err
+				}
+				kinds = append(kinds, k)
+			}
+		}
+		return RandomWire(seed, p, n, kinds...), nil
+	}
+	var events []WireEvent
+	for _, es := range strings.Split(spec, ",") {
+		e, err := parseWireEvent(strings.TrimSpace(es), p)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return NewWireSchedule(events...), nil
+}
+
+func parseWireKind(s string) (WireKind, error) {
+	for i, n := range wireKindNames {
+		if s == n {
+			return WireKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown wire kind %q (want hang, delay, reset, or truncate)", s)
+}
+
+func parseWireEvent(s string, p int) (WireEvent, error) {
+	var e WireEvent
+	body, nth, hasNth := strings.Cut(s, "#")
+	if hasNth {
+		n, err := strconv.Atoi(nth)
+		if err != nil || n < 0 {
+			return e, fmt.Errorf("faults: bad frame index %q in %q", nth, s)
+		}
+		e.Nth = n
+	}
+	kindStr, rest, ok := strings.Cut(body, "@")
+	if !ok {
+		return e, fmt.Errorf("faults: wire event %q is not kind@rank:peer", s)
+	}
+	var err error
+	if e.Kind, err = parseWireKind(kindStr); err != nil {
+		return e, err
+	}
+	parts := strings.Split(rest, ":")
+	want := 2
+	if e.Kind == WireDelay {
+		want = 3
+	}
+	if len(parts) != want {
+		return e, fmt.Errorf("faults: wire event %q needs %d colon-separated fields after @", s, want)
+	}
+	if e.Rank, err = strconv.Atoi(parts[0]); err != nil || e.Rank < 0 || e.Rank >= p {
+		return e, fmt.Errorf("faults: rank %q in %q out of range [0,%d)", parts[0], s, p)
+	}
+	if parts[1] == "*" {
+		e.Peer = -1
+	} else if e.Peer, err = strconv.Atoi(parts[1]); err != nil || e.Peer < 0 || e.Peer >= p {
+		return e, fmt.Errorf("faults: peer %q in %q out of range [0,%d) (or *)", parts[1], s, p)
+	}
+	if e.Rank == e.Peer {
+		return e, fmt.Errorf("faults: wire event %q targets the rank's own loopback (no such connection)", s)
+	}
+	if e.Kind == WireDelay {
+		d, err := time.ParseDuration(parts[2])
+		if err != nil || d <= 0 {
+			return e, fmt.Errorf("faults: bad delay duration %q in %q", parts[2], s)
+		}
+		e.Delay = d
+	}
+	return e, nil
+}

@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/comm"
@@ -63,6 +65,7 @@ type Checkpoint struct {
 type CheckpointStore struct {
 	mu      sync.Mutex
 	dir     string
+	dist    bool // per-process frame files; see NewDistCheckpointStore
 	latest  *Checkpoint
 	pending *Checkpoint
 	left    int // writers still missing from pending
@@ -88,10 +91,39 @@ func NewCheckpointStore(dir string) (*CheckpointStore, error) {
 	return &CheckpointStore{dir: dir}, nil
 }
 
+// NewDistCheckpointStore returns a store for one rank of a wire-backed
+// world, where ranks are separate processes and in-memory promotion is
+// impossible: put writes this rank's fragment (and, from dense rank 0,
+// the shared frame) straight to per-process files in dir, and Latest
+// scans the directory for the newest (level, writers) set that has the
+// shared frame plus every fragment — the other ranks' frames arrive
+// through the shared directory, not through memory. Every file is
+// written atomically (temp + rename), and saves are barrier-fronted, so
+// a complete set on disk is always a consistent cut. Unless resuming, a
+// previous run's frame files are cleared up front so stale state can
+// never masquerade as this run's checkpoint.
+func NewDistCheckpointStore(dir string, resume bool) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("scalparc: distributed checkpointing requires a checkpoint directory")
+	}
+	s, err := NewCheckpointStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.dist = true
+	if !resume {
+		clearDistFrames(dir)
+	}
+	return s, nil
+}
+
 // Latest returns the last complete checkpoint, or nil.
 func (s *CheckpointStore) Latest() *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dist {
+		return loadDistLatest(s.dir)
+	}
 	return s.latest
 }
 
@@ -110,6 +142,12 @@ func (s *CheckpointStore) Err() error {
 func (s *CheckpointStore) put(level, writer, writers int, shared, frag []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dist {
+		if err := persistDistFrames(s.dir, level, writer, writers, shared, frag); err != nil && s.err == nil {
+			s.err = err
+		}
+		return
+	}
 	if s.pending == nil || s.pending.Level != level || s.pending.Writers != writers {
 		s.pending = &Checkpoint{Level: level, Writers: writers, Frags: make([][]byte, writers)}
 		s.left = writers
@@ -166,6 +204,138 @@ func persistCheckpoint(dir string, ck *Checkpoint) (err error) {
 		return fmt.Errorf("scalparc: checkpoint persist: %w", err)
 	}
 	return nil
+}
+
+// Distributed frame files: ck-L<level>-W<writers>.shared (dense rank 0)
+// and ck-L<level>-W<writers>-w<writer>.frag (every rank). The set for a
+// (level, writers) pair is complete once the shared file and all W
+// fragments exist; atomic renames plus the barrier in front of every
+// save guarantee a complete set is a consistent cut.
+
+func distSharedName(level, writers int) string {
+	return fmt.Sprintf("ck-L%06d-W%03d.shared", level, writers)
+}
+
+func distFragName(level, writers, writer int) string {
+	return fmt.Sprintf("ck-L%06d-W%03d-w%03d.frag", level, writers, writer)
+}
+
+// persistDistFrames writes one rank's contribution to a level's
+// checkpoint as per-process files (atomic temp + rename each).
+func persistDistFrames(dir string, level, writer, writers int, shared, frag []byte) error {
+	write := func(name string, data []byte) error {
+		tmp, err := os.CreateTemp(dir, name+".tmp-*")
+		if err != nil {
+			return fmt.Errorf("scalparc: checkpoint persist: %w", err)
+		}
+		if _, err = tmp.Write(data); err == nil {
+			err = tmp.Close()
+		} else {
+			tmp.Close()
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), filepath.Join(dir, name))
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("scalparc: checkpoint persist: %w", err)
+		}
+		return nil
+	}
+	if err := write(distFragName(level, writers, writer), frag); err != nil {
+		return err
+	}
+	if shared != nil {
+		return write(distSharedName(level, writers), shared)
+	}
+	return nil
+}
+
+// loadDistLatest scans dir for the newest complete (level, writers)
+// frame set and assembles it. Incomplete sets (a save a failure
+// interrupted) are skipped; ties on level prefer more writers, though
+// any complete set for a level decodes to the same global state.
+func loadDistLatest(dir string) *Checkpoint {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	type key struct{ level, writers int }
+	shared := make(map[key]bool)
+	frags := make(map[key]map[int]bool)
+	for _, e := range entries {
+		name := e.Name()
+		var level, writers, writer int
+		if n, _ := fmt.Sscanf(name, "ck-L%06d-W%03d-w%03d.frag", &level, &writers, &writer); n == 3 {
+			k := key{level, writers}
+			if frags[k] == nil {
+				frags[k] = make(map[int]bool)
+			}
+			frags[k][writer] = true
+		} else if n, _ := fmt.Sscanf(name, "ck-L%06d-W%03d.shared", &level, &writers); n == 2 && strings.HasSuffix(name, ".shared") {
+			shared[key{level, writers}] = true
+		}
+	}
+	var candidates []key
+	for k := range shared {
+		if k.writers < 1 || len(frags[k]) < k.writers {
+			continue
+		}
+		complete := true
+		for w := 0; w < k.writers; w++ {
+			if !frags[k][w] {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			candidates = append(candidates, k)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].level != candidates[j].level {
+			return candidates[i].level > candidates[j].level
+		}
+		return candidates[i].writers > candidates[j].writers
+	})
+	for _, k := range candidates {
+		ck := &Checkpoint{Level: k.level, Writers: k.writers, Frags: make([][]byte, k.writers)}
+		sh, err := os.ReadFile(filepath.Join(dir, distSharedName(k.level, k.writers)))
+		if err != nil {
+			continue
+		}
+		ck.Shared = sh
+		ok := true
+		for w := 0; w < k.writers; w++ {
+			fr, err := os.ReadFile(filepath.Join(dir, distFragName(k.level, k.writers, w)))
+			if err != nil {
+				ok = false
+				break
+			}
+			ck.Frags[w] = fr
+		}
+		if ok {
+			return ck
+		}
+	}
+	return nil
+}
+
+// clearDistFrames removes a previous run's distributed frame files. All
+// ranks of a fresh run call this before any save happens (their first
+// save is barrier-fronted), so the concurrent removals cannot race a
+// write; removal errors (a peer got there first) are ignored.
+func clearDistFrames(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "ck-L") && (strings.HasSuffix(name, ".frag") || strings.HasSuffix(name, ".shared")) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
 }
 
 // LoadCheckpoint reads a checkpoint persisted by a CheckpointStore with the

@@ -1,0 +1,145 @@
+package scalparc
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// distPut writes one rank's frames through the store, failing the test on
+// a persistence error (the production path surfaces it via Err()).
+func distPut(t *testing.T, s *CheckpointStore, level, writer, writers int, shared, frag []byte) {
+	t.Helper()
+	s.put(level, writer, writers, shared, frag)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDistCheckpointStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck := s.Latest(); ck != nil {
+		t.Fatalf("empty store returned checkpoint %+v", ck)
+	}
+	const writers = 3
+	for w := 0; w < writers; w++ {
+		var shared []byte
+		if w == 0 {
+			shared = []byte("shared-L2")
+		}
+		distPut(t, s, 2, w, writers, shared, fmt.Appendf(nil, "frag-%d", w))
+	}
+	ck := s.Latest()
+	if ck == nil {
+		t.Fatal("complete frame set not found")
+	}
+	if ck.Level != 2 || ck.Writers != writers || !bytes.Equal(ck.Shared, []byte("shared-L2")) {
+		t.Fatalf("checkpoint %+v", ck)
+	}
+	for w := 0; w < writers; w++ {
+		if want := fmt.Sprintf("frag-%d", w); string(ck.Frags[w]) != want {
+			t.Fatalf("frag %d = %q, want %q", w, ck.Frags[w], want)
+		}
+	}
+}
+
+// TestDistCheckpointSkipsIncompleteSets: a save a crash interrupted —
+// missing a fragment, or missing the shared frame — must never be
+// returned; Latest falls back to the older complete set.
+func TestDistCheckpointSkipsIncompleteSets(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDistCheckpointStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 2
+	for w := 0; w < writers; w++ {
+		var shared []byte
+		if w == 0 {
+			shared = []byte("ok")
+		}
+		distPut(t, s, 1, w, writers, shared, []byte{byte(w)})
+	}
+	// Level 3: fragment from rank 1 only — rank 0 (and its shared frame)
+	// died mid-save.
+	distPut(t, s, 3, 1, writers, nil, []byte("orphan frag"))
+	// Level 4: shared plus rank 0's fragment, rank 1's missing.
+	distPut(t, s, 4, 0, writers, []byte("torn"), []byte("half"))
+
+	ck := s.Latest()
+	if ck == nil || ck.Level != 1 {
+		t.Fatalf("Latest = %+v, want the complete level-1 set", ck)
+	}
+}
+
+// TestDistCheckpointPrefersNewestComplete: max level wins; on a level
+// tie (saves before and after a shrink), the larger writer count wins.
+func TestDistCheckpointPrefersNewestComplete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDistCheckpointStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(level, writers int, tag string) {
+		for w := 0; w < writers; w++ {
+			var shared []byte
+			if w == 0 {
+				shared = []byte("s-" + tag)
+			}
+			distPut(t, s, level, w, writers, shared, []byte(tag))
+		}
+	}
+	put(1, 3, "old")
+	put(5, 2, "shrunk")
+	put(5, 3, "full")
+	ck := s.Latest()
+	if ck == nil || ck.Level != 5 || ck.Writers != 3 || string(ck.Shared) != "s-full" {
+		t.Fatalf("Latest = %+v, want the 3-writer level-5 set", ck)
+	}
+}
+
+// TestDistCheckpointClearVsResume: constructing without resume clears a
+// previous run's frames (stale state must never masquerade as this
+// run's); constructing with resume preserves them — that is what the
+// coordinator's respawn relies on.
+func TestDistCheckpointClearVsResume(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDistCheckpointStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distPut(t, s, 0, 0, 1, []byte("shared"), []byte("frag"))
+	if s.Latest() == nil {
+		t.Fatal("frame set not written")
+	}
+	// Unrelated files in the checkpoint dir must survive a clear.
+	bystander := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(bystander, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewDistCheckpointStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck := r.Latest(); ck == nil || string(ck.Shared) != "shared" {
+		t.Fatalf("resume store lost the previous run's checkpoint: %+v", ck)
+	}
+
+	f, err := NewDistCheckpointStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck := f.Latest(); ck != nil {
+		t.Fatalf("fresh store kept a stale checkpoint: %+v", ck)
+	}
+	if _, err := os.Stat(bystander); err != nil {
+		t.Fatalf("clearing frames removed an unrelated file: %v", err)
+	}
+}

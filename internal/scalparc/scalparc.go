@@ -228,8 +228,16 @@ type Options struct {
 	CheckpointEvery int
 	// CheckpointDir additionally persists every promoted checkpoint to
 	// this directory, atomically. Implies CheckpointEvery=1 when that is
-	// unset. The directory must exist and be writable.
+	// unset. The directory must exist and be writable. On a wire-backed
+	// (distributed) world it is required when checkpointing: the shared
+	// directory is the stable storage the per-process fragment files
+	// rendezvous in.
 	CheckpointDir string
+	// Resume starts the run from the last complete checkpoint in
+	// CheckpointDir instead of from scratch — the respawn path after a
+	// wholesale failure on a wire-backed world. Requires a distributed
+	// world with checkpointing enabled.
+	Resume bool
 }
 
 // Train runs ScalParC on the world's processors and returns the tree with
@@ -294,16 +302,25 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	if opts.CheckpointDir != "" && opts.CheckpointEvery == 0 {
 		opts.CheckpointEvery = 1
 	}
-	if opts.CheckpointEvery > 0 && w.Distributed() {
-		// The checkpoint store lives in this process; a transport-backed
-		// world has one rank per process, so a restored snapshot could
-		// never cover the peers. Wire-backed recovery is full replay.
-		return nil, fmt.Errorf("scalparc: checkpointing requires the simulated backend; transport-backed worlds recover by full replay (CheckpointEvery=0)")
+	if opts.CheckpointEvery > 0 && w.Distributed() && opts.CheckpointDir == "" {
+		// A transport-backed world has one rank per process, so an
+		// in-memory store could never cover the peers: the shared
+		// checkpoint directory is the rendezvous for the per-process
+		// fragment files.
+		return nil, fmt.Errorf("scalparc: checkpointing on a wire transport requires CheckpointDir (per-process frames need shared stable storage)")
+	}
+	if opts.Resume && (!w.Distributed() || opts.CheckpointEvery == 0) {
+		return nil, fmt.Errorf("scalparc: Resume requires a wire-backed world with checkpointing enabled")
 	}
 	var store *CheckpointStore
 	if opts.CheckpointEvery > 0 {
 		var err error
-		if store, err = NewCheckpointStore(opts.CheckpointDir); err != nil {
+		if w.Distributed() {
+			store, err = NewDistCheckpointStore(opts.CheckpointDir, opts.Resume)
+		} else {
+			store, err = NewCheckpointStore(opts.CheckpointDir)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -340,8 +357,14 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 			var rf *comm.RankFailure
 			if errors.As(err, &rf) && rf.Recoverable() {
 				// A peer fail-stopped: shrink the world with the other
-				// survivors and replay from the last checkpoint.
-				c.Shrink()
+				// survivors and replay from the last checkpoint. Shrink
+				// itself can fail — this rank may come out of the vote
+				// evicted or without a quorum (orphaned) — and that is a
+				// terminal error for the rank, not a crash.
+				if serr := tryShrink(c); serr != nil {
+					errs[phys] = serr
+					return
+				}
 				recoveries[phys]++
 				restarted = true
 				continue
@@ -392,6 +415,24 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	return res, nil
 }
 
+// tryShrink runs the membership vote, converting a failure of the vote
+// itself — this rank evicted, or orphaned with no surviving quorum —
+// into the error the retry loop reports. Only *comm.RankFailure panics
+// are absorbed; anything else keeps unwinding.
+func tryShrink(c *comm.Comm) (err error) {
+	defer func() {
+		switch e := recover().(type) {
+		case nil:
+		case *comm.RankFailure:
+			err = e
+		default:
+			panic(e)
+		}
+	}()
+	c.Shrink()
+	return nil
+}
+
 // trainAttempt runs one rank's induction attempt end to end, converting the
 // comm layer's failure panics into errors the retry loop above can act on.
 // Fail-stop unwinds of this rank itself (comm.Crashed) re-panic: the world's
@@ -412,7 +453,10 @@ func trainAttempt(c *comm.Comm, tab *dataset.Table, cfg splitter.Config,
 	}()
 	phys := c.Phys()
 	var wk *worker
-	if restarted && store != nil {
+	// Restore applies after an in-run shrink (restarted) and on the first
+	// attempt of a respawned world (opts.Resume): both continue from the
+	// last complete checkpoint rather than replaying the whole induction.
+	if (restarted || opts.Resume) && store != nil {
 		if ck := store.Latest(); ck != nil {
 			if wk, err = restoreWorker(c, tab.Schema, cfg, factory, opts, ck); err != nil {
 				return err

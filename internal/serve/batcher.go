@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,12 @@ import (
 
 	"repro/internal/infer"
 )
+
+// ErrOverloaded reports that the micro-batcher's queue could not accept a
+// request's rows within the flush deadline: the server is saturated and
+// the request was shed instead of queued behind an unbounded backlog. The
+// HTTP layer maps it to 503 with a Retry-After.
+var ErrOverloaded = errors.New("serve: overloaded, prediction queue full past the flush deadline")
 
 // batcher coalesces single rows from concurrent requests into the compiled
 // engine's batches: a channel-fanout worker pool where each flusher blocks
@@ -86,7 +93,11 @@ func (b *batcher) depth() int { return len(b.q) }
 // carry them complete, writing one label per row into out. A context
 // cancelled mid-enqueue abandons the unenqueued tail but still waits for
 // rows already queued (they hold slots in out and flushers will write
-// them).
+// them). Enqueueing itself is bounded: a request that cannot place its
+// rows within one flush deadline (the queue is full and the flushers are
+// not draining it) is shed with ErrOverloaded rather than parked behind
+// an unbounded backlog — queueing past the deadline only converts fast
+// failures into slow ones.
 func (b *batcher) predictInto(ctx context.Context, rows [][]float64, out []int) error {
 	if len(out) != len(rows) {
 		return fmt.Errorf("serve: out has %d slots for %d rows", len(out), len(rows))
@@ -96,9 +107,28 @@ func (b *batcher) predictInto(ctx context.Context, rows [][]float64, out []int) 
 	}
 	c := &call{out: out, done: make(chan struct{})}
 	c.pending.Store(int64(len(rows)))
+	// One shed timer budgets the whole enqueue, created only if some row
+	// actually blocks (the common, healthy path never allocates it).
+	var shed *time.Timer
+	var shedC <-chan time.Time
 	for i, r := range rows {
+		req := rowReq{row: r, slot: i, call: c}
 		select {
-		case b.q <- rowReq{row: r, slot: i, call: c}:
+		case b.q <- req:
+			continue
+		default:
+		}
+		if shed == nil {
+			shed = time.NewTimer(b.maxWait)
+			shedC = shed.C
+			defer shed.Stop()
+		}
+		select {
+		case b.q <- req:
+		case <-shedC:
+			c.finish(int64(len(rows) - i))
+			<-c.done
+			return ErrOverloaded
 		case <-ctx.Done():
 			c.finish(int64(len(rows) - i))
 			<-c.done

@@ -25,6 +25,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -332,6 +333,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		buf.out = append(buf.out, 0)
 	}
 	if err := sv.b.predictInto(r.Context(), buf.rows, buf.out[:len(buf.rows)]); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			// Graceful degradation: a saturated batcher sheds rather than
+			// queues without bound. Retry-After is one flush deadline
+			// rounded up — by then the backlog has either drained a batch
+			// or the server is still saturated and sheds again cheaply.
+			s.stats.Sheds.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BatchWait/time.Second)+1))
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -16,6 +16,9 @@ type Stats struct {
 	RowsIn       atomic.Int64
 	DecodeErrors atomic.Int64
 	NotFound     atomic.Int64
+	// Sheds counts requests answered 503 because the prediction queue
+	// could not accept their rows within one flush deadline.
+	Sheds atomic.Int64
 
 	Batches         atomic.Int64
 	BatchRows       atomic.Int64
@@ -72,6 +75,7 @@ type StatsSnapshot struct {
 	RowsIn       int64 `json:"rows_in"`
 	DecodeErrors int64 `json:"decode_errors"`
 	NotFound     int64 `json:"not_found"`
+	Sheds        int64 `json:"sheds"`
 
 	Batches         int64   `json:"batches"`
 	BatchRows       int64   `json:"batch_rows"`
@@ -116,6 +120,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		RowsIn:          s.RowsIn.Load(),
 		DecodeErrors:    s.DecodeErrors.Load(),
 		NotFound:        s.NotFound.Load(),
+		Sheds:           s.Sheds.Load(),
 		Batches:         s.Batches.Load(),
 		BatchRows:       s.BatchRows.Load(),
 		MinBatchRows:    s.MinBatchRows.Load(),
