@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race fuzz guard chaos chaos-tcp tcp serve-test cover experiments examples clean
+.PHONY: all build vet test bench race fuzz guard chaos chaos-tcp tcp serve-test forest cover experiments examples clean
 
 all: build vet test
 
@@ -77,6 +77,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dataset
 	$(GO) test -fuzz=FuzzSplitScan -fuzztime=$(FUZZTIME) -run='^$$' ./internal/gini
 	$(GO) test -fuzz=FuzzPredict -fuzztime=$(FUZZTIME) -run='^$$' ./internal/infer
+	$(GO) test -fuzz=FuzzCompileForest -fuzztime=$(FUZZTIME) -run='^$$' ./internal/infer
 	$(GO) test -fuzz=FuzzServeRequest -fuzztime=$(FUZZTIME) -run='^$$' ./internal/serve
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) -run='^$$' ./internal/comm/tcptransport
 
@@ -88,9 +89,12 @@ fuzz:
 # GUARD-HOTPATH (gini kernel ratio + allocation discipline vs the
 # checked-in BENCH_*.json trajectory), GUARD-PREDICT (compiled batch
 # inference >= 4x the frozen pre-engine walk with bit-identical labels),
-# and GUARD-SERVE (the HTTP serving path: bit-identical labels over the
+# GUARD-SERVE (the HTTP serving path: bit-identical labels over the
 # wire, throughput/latency vs BENCH_serve.json; failing runs dump latency
-# histograms into SERVE_ARTIFACT_DIR for CI to upload) — see
+# histograms into SERVE_ARTIFACT_DIR for CI to upload), and GUARD-FOREST
+# (T=16 bagging beats a single fully-grown tree on noisy Quest, the
+# compiled batch-vote kernel is bit-identical to the walker oracle, and a
+# chaos run that kills one tree's world loses exactly that tree) — see
 # EXPERIMENTS.md.
 SERVE_ARTIFACT_DIR ?= serve-latency
 VOTE_ARTIFACT_DIR ?= vote-trace
@@ -100,6 +104,15 @@ guard:
 	$(GO) run ./cmd/benchrunner -exp hotpathguard
 	$(GO) run ./cmd/benchrunner -exp predictguard
 	SERVE_ARTIFACT_DIR="$(SERVE_ARTIFACT_DIR)" $(GO) run ./cmd/benchrunner -exp serveguard
+	$(GO) run ./cmd/benchrunner -exp forestguard
+
+# Forest suite: the scalparc forest chaos/determinism tests, the compiled
+# batch-vote differentials (including the CompileForest fuzz corpus run as
+# unit cases), the CLI -forest end-to-end tests, and a fresh EXP-FOREST
+# trajectory run (appends a labeled point to BENCH_forest.json).
+forest:
+	$(GO) test -run 'Forest' ./internal/scalparc ./internal/infer ./classify ./cmd/scalparc ./internal/serve
+	$(GO) run ./cmd/benchrunner -exp forest -benchlabel "$(BENCHLABEL)"
 
 cover:
 	$(GO) test -cover ./...

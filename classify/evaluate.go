@@ -36,12 +36,17 @@ func Evaluate(t *Tree, tab *Table) (*Evaluation, error) {
 		return nil, fmt.Errorf("classify: tree schema (%d attrs, %d classes) incompatible with table (%d attrs, %d classes)",
 			len(t.Schema.Attrs), len(t.Schema.Classes), len(tab.Schema.Attrs), len(tab.Schema.Classes))
 	}
-	nc := len(t.Schema.Classes)
+	return evaluateLabels(t.Schema.Classes, t.PredictTable(tab), tab), nil
+}
+
+// evaluateLabels assembles the evaluation from precomputed predictions —
+// the shared back half of Evaluate and EvaluateForest.
+func evaluateLabels(classes []string, pred []int, tab *Table) *Evaluation {
+	nc := len(classes)
 	ev := &Evaluation{N: tab.NumRows(), Confusion: make([][]int, nc)}
 	for i := range ev.Confusion {
 		ev.Confusion[i] = make([]int, nc)
 	}
-	pred := t.PredictTable(tab)
 	for r, p := range pred {
 		actual := int(tab.Class[r])
 		ev.Confusion[actual][p]++
@@ -64,7 +69,7 @@ func Evaluate(t *Tree, tab *Table) (*Evaluation, error) {
 				fp += ev.Confusion[k][j]
 			}
 		}
-		cm := ClassMetrics{Class: t.Schema.Classes[j], Support: support}
+		cm := ClassMetrics{Class: classes[j], Support: support}
 		if tp+fp > 0 {
 			cm.Precision = float64(tp) / float64(tp+fp)
 		}
@@ -76,7 +81,7 @@ func Evaluate(t *Tree, tab *Table) (*Evaluation, error) {
 		}
 		ev.PerClass[j] = cm
 	}
-	return ev, nil
+	return ev
 }
 
 // String renders a compact evaluation report.

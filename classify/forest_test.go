@@ -1,0 +1,79 @@
+package classify
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTrainForestEndToEnd(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 1, Records: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainForest(tab, ForestConfig{
+		Trees: 5, Seed: 9, FeatureSample: 3, Parallel: 2,
+		Engine: Config{Processors: 2, MinSplit: 8, Split: SplitBinned, Bins: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Forest.NumTrees() != 5 || m.Metrics.Trained != 5 || len(m.Metrics.Lost) != 0 {
+		t.Fatalf("metrics = %+v, want 5 trained trees", m.Metrics)
+	}
+	if m.Metrics.BytesSent == 0 || m.Metrics.ModeledSeconds == 0 {
+		t.Fatalf("metrics = %+v, want nonzero communication and modeled time", m.Metrics)
+	}
+	ev, err := EvaluateForest(m.Forest, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.N != tab.NumRows() || ev.Accuracy <= 0.5 {
+		t.Fatalf("evaluation %v, want full coverage and better-than-chance accuracy", ev)
+	}
+
+	// Round-trip through both decoders: the forest wire format and the
+	// format-sniffing model decoder must agree.
+	var b bytes.Buffer
+	if err := m.Forest.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	enc := b.Bytes()
+	f2, err := DecodeForest(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := DecodeModel(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumTrees() != 5 || f3.NumTrees() != 5 {
+		t.Fatalf("decoded %d / %d trees, want 5", f2.NumTrees(), f3.NumTrees())
+	}
+	ev2, err := EvaluateForest(f2, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Accuracy != ev.Accuracy {
+		t.Fatalf("decoded forest accuracy %.4f, want %.4f", ev2.Accuracy, ev.Accuracy)
+	}
+}
+
+func TestTrainForestRejectsEngineMisuse(t *testing.T) {
+	tab, err := GenerateQuest(QuestConfig{Function: 1, Records: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		engine Config
+	}{
+		{"algorithm", Config{Algorithm: Serial}},
+		{"faults", Config{Faults: "crash@FindSplitI:1:2"}},
+		{"checkpoint", Config{CheckpointDir: t.TempDir()}},
+		{"prune", Config{Prune: true}},
+	} {
+		if _, err := TrainForest(tab, ForestConfig{Trees: 2, Engine: tc.engine}); err == nil {
+			t.Errorf("%s: engine misuse not rejected", tc.name)
+		}
+	}
+}

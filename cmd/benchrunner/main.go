@@ -40,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, vote, voteguard, fault, hotpath, hotpathguard, predict, predictguard, tcp, serve, serveguard, micro, or all")
+	exp := fs.String("exp", "all", "experiment: fig3a, fig3b, speedups, memfactors, sprintcmp, phases, phasecmp, blocks, binned, binnedguard, vote, voteguard, fault, hotpath, hotpathguard, predict, predictguard, tcp, serve, serveguard, forest, forestguard, micro, or all")
 	scale := fs.Float64("scale", 1.0/16, "fraction of the paper's record counts to run")
 	function := fs.Int("function", 2, "Quest classification function")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -282,6 +282,24 @@ func run(args []string, out io.Writer) error {
 
 	if all || want["serveguard"] {
 		if err := bench.ServeGuard(out, *benchDir); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	// forest appends to the checked-in BENCH_forest.json trajectory, so
+	// like hotpath it only runs when asked for by name.
+	if want["forest"] {
+		if err := bench.Forest(out, *benchDir, *benchLabel); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+
+	if all || want["forestguard"] {
+		if err := bench.ForestGuard(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -30,6 +30,72 @@ import (
 	"repro/internal/scalparc"
 )
 
+// runForest is the -forest arm of run: train a bagged ensemble, report its
+// aggregate figures, evaluate by compiled majority vote, and optionally
+// write the forest JSON (readable back by -serve's model store and
+// classify.DecodeModel).
+func runForest(stdout io.Writer, train, test *classify.Table, engine classify.Config,
+	trees int, seed uint64, featureSample, parallel int, ckptDir, jsonOut string, compileStats bool) error {
+	fm, err := classify.TrainForest(train, classify.ForestConfig{
+		Trees:         trees,
+		Seed:          seed,
+		FeatureSample: featureSample,
+		Parallel:      parallel,
+		CheckpointDir: ckptDir,
+		Engine:        engine,
+	})
+	if err != nil {
+		return err
+	}
+	mm := fm.Metrics
+	fmt.Fprintf(stdout, "forest of %d trees on %d processors each: %d trained, %d restored, %d lost\n",
+		mm.Trees, engine.Processors, mm.Trained, mm.Restored, len(mm.Lost))
+	fmt.Fprintf(stdout, "modeled runtime %.3fs summed over trained trees, wall %.3fs; total traffic %.2f MB sent\n",
+		mm.ModeledSeconds, mm.WallSeconds, float64(mm.BytesSent)/1e6)
+	if len(mm.Lost) > 0 {
+		fmt.Fprintf(stdout, "lost trees %v: the ensemble continues on the survivors\n", mm.Lost)
+	}
+	if mm.VoteFallbacks > 0 {
+		fmt.Fprintf(stdout, "vote split finding fell back to full histograms %d time(s)\n", mm.VoteFallbacks)
+	}
+
+	if compileStats {
+		m, err := infer.CompileForest(fm.Forest)
+		if err != nil {
+			return err
+		}
+		st := m.Stats()
+		fmt.Fprintf(stdout, "compiled forest: %d trees, %d nodes (%d leaves), depth %d, %d subset words, %d bytes flat\n",
+			st.Trees, st.Nodes, st.Leaves, st.Depth, st.SubsetWords, st.Bytes)
+	}
+
+	trainEval, err := classify.EvaluateForest(fm.Forest, train)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "training   %s", trainEval)
+	if test != nil && test.NumRows() > 0 {
+		testEval, err := classify.EvaluateForest(fm.Forest, test)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "held-out   %s", testEval)
+	}
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fm.Forest.Encode(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote forest JSON to %s\n", jsonOut)
+	}
+	return nil
+}
+
 type jsonAttr struct {
 	Name   string   `json:"name"`
 	Kind   string   `json:"kind"`
@@ -100,6 +166,11 @@ func run(args []string, stdout io.Writer) error {
 	splitMode := fs.String("split", "exact", "split finding: exact (the paper's algorithm), binned (quantile histograms), or vote (top-k attribute voting; scalparc only)")
 	bins := fs.Int("bins", 0, "quantile bin cap for -split=binned or -split=vote (0 = default 256)")
 	voteK := fs.Int("vote-k", 0, "per-rank attribute nominations per node for -split=vote (0 = default 8)")
+	forest := fs.Int("forest", 0, "train a bagged forest of this many trees instead of a single tree (scalparc only)")
+	featureSample := fs.Int("feature-sample", 0, "per-node attribute subset size for -forest (0 = bagging only)")
+	forestSeed := fs.Uint64("forest-seed", 1, "bootstrap/feature-stream seed for -forest")
+	forestParallel := fs.Int("forest-parallel", 0, "how many forest trees train concurrently (0 = 1; results are identical at any width)")
+	forestCkpt := fs.String("forest-checkpoint", "", "persist each completed forest tree to this directory and restore completed trees on a rerun")
 	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. crash@FindSplitI:1:2 or random:4:crash,straggle (scalparc only)")
 	wireFaults := fs.String("wire-faults", "", "socket-level fault spec for -transport=tcp, e.g. reset@1:0 or delay@0:1:50ms#2 or random:3:reset,truncate")
 	faultSeed := fs.Int64("fault-seed", 0, "seed for random: fault specs (required non-zero for them)")
@@ -153,6 +224,32 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if (*faultSpec != "" || *ckptDir != "" || *ckptEvery != 0) && algorithm != classify.ScalParC {
 		return fmt.Errorf("-faults and -checkpoint require -algo scalparc (got %s)", *algo)
+	}
+	if *forest < 0 {
+		return fmt.Errorf("-forest must be >= 0 (got %d)", *forest)
+	}
+	if *forest == 0 && (*featureSample != 0 || *forestParallel != 0 || *forestCkpt != "") {
+		return fmt.Errorf("-feature-sample, -forest-parallel, and -forest-checkpoint require -forest")
+	}
+	if *forest > 0 {
+		if algorithm != classify.ScalParC {
+			return fmt.Errorf("-forest requires -algo scalparc (got %s)", *algo)
+		}
+		if *transport != "sim" {
+			return fmt.Errorf("-forest trains its trees as independent in-process worlds and requires -transport=sim")
+		}
+		if *cvFolds > 0 {
+			return fmt.Errorf("-forest and -cv are mutually exclusive")
+		}
+		if *faultSpec != "" || *ckptDir != "" || *ckptEvery != 0 {
+			return fmt.Errorf("-faults and -checkpoint are single-tree options; forests checkpoint per tree via -forest-checkpoint")
+		}
+		if *prune {
+			return fmt.Errorf("-prune is a single-tree option (bagging relies on fully grown trees)")
+		}
+		if *dump || *dotOut != "" || *importance || *phases || *traceOut != "" {
+			return fmt.Errorf("-dump, -dot-out, -importance, -phases, and -trace render a single tree; they do not apply to -forest")
+		}
 	}
 	if *ckptEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", *ckptEvery)
@@ -292,6 +389,11 @@ func run(args []string, stdout io.Writer) error {
 		} else {
 			fmt.Fprintf(stdout, "binned split finding: up to %d quantile bins per continuous attribute\n", b)
 		}
+	}
+
+	if *forest > 0 {
+		return runForest(stdout, train, test, trainCfg, *forest, *forestSeed,
+			*featureSample, *forestParallel, *forestCkpt, *jsonOut, *compileStats)
 	}
 
 	if *cvFolds > 0 {

@@ -1,0 +1,370 @@
+package bench
+
+// EXP-FOREST / GUARD-FOREST: bagged forests with per-node feature
+// subsampling on label-noisy Quest data — the regime where a single
+// fully-grown tree memorizes the noise and an ensemble averages it out.
+// The trajectory sweeps the ensemble size T and records what each extra
+// tree buys (clean held-out accuracy) and costs (the summed per-tree
+// communication bill and modeled runtime); the guard pins the
+// accuracy-beats-single-tree claim, the compiled batch-vote kernel's
+// bit-identity to the walker oracle, and the crash guarantee (a
+// terminally failed tree world loses at most that tree).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/scalparc"
+	"repro/internal/splitter"
+	"repro/internal/timing"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// ForestFile is the checked-in EXP-FOREST trajectory (relative to the
+// repo root). The remaining constants pin the scenario: the noisy Quest
+// table (function, attribute family, seed, label-noise rate), the
+// training regime (fully-grown binned-32 trees, the regime in which a
+// single tree overfits), and the forest knobs. They mirror the
+// calibration proven in the scalparc forest tests.
+const (
+	ForestFile          = "BENCH_forest.json"
+	ForestRecords       = 1200
+	ForestTestRows      = 1200
+	ForestProcs         = 2
+	ForestBins          = 32
+	ForestMinSplit      = 4
+	ForestFeatureSample = 3
+	ForestTrees         = 16
+	forestFunction      = 7
+	forestSeed          = 11
+	forestLabelNoise    = 0.2
+)
+
+// forestNotes documents the trajectory file for readers of the raw JSON.
+const forestNotes = "EXP-FOREST trajectory: bagged forests with per-node feature subsampling (m=3) vs ensemble size T on label-noisy Quest data (F7, Nine attributes, 1200 records at 20% label noise, clean 1200-row held-out set, binned-32 fully-grown trees, 2 processors per tree world; virtual T3D clocks, so bytes and modeled seconds are host-independent and bit-stable). accuracy is the compiled batch-vote kernel's (bit-identical to the walker oracle by GUARD-FOREST); bytes_sent and modeled_seconds sum every tree's communication and runtime — the ensemble's total training bill, linear in T."
+
+// ForestPoint is one ensemble size's measurement in an EXP-FOREST run.
+type ForestPoint struct {
+	Trees          int     `json:"trees"`
+	Nodes          int     `json:"nodes"` // summed over the ensemble
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	BytesSent      int64   `json:"bytes_sent"`
+	Accuracy       float64 `json:"accuracy"`
+}
+
+// ForestRun is one labeled EXP-FOREST measurement. The virtual-clock
+// points are host-independent; the host metadata records where the run
+// happened anyway, for parity with the other trajectories.
+type ForestRun struct {
+	Label     string        `json:"label"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"numcpu"`
+	Records   int           `json:"records"`
+	Points    []ForestPoint `json:"points"`
+}
+
+// ForestTrajectory is the on-disk shape of BENCH_forest.json: an
+// append-only trajectory of runs, oldest first.
+type ForestTrajectory struct {
+	Experiment string      `json:"experiment"`
+	Notes      string      `json:"notes"`
+	Runs       []ForestRun `json:"runs"`
+}
+
+// forestTables generates the pinned noisy training table and its clean
+// held-out counterpart (TrainTest reseeds and strips the noise).
+func forestTables() (train, test *dataset.Table, err error) {
+	return datagen.TrainTest(datagen.Config{
+		Function: forestFunction, Attrs: datagen.Nine,
+		Seed: forestSeed, LabelNoise: forestLabelNoise,
+	}, ForestRecords, ForestTestRows)
+}
+
+func forestConfig() splitter.Config {
+	return splitter.Config{MinSplit: ForestMinSplit}
+}
+
+func forestOptions(trees int) scalparc.ForestOptions {
+	return scalparc.ForestOptions{
+		Trees: trees, Seed: forestSeed, FeatureSample: ForestFeatureSample,
+		Procs:  ForestProcs,
+		Engine: scalparc.Options{Split: scalparc.SplitBinned, Bins: ForestBins},
+	}
+}
+
+// forestAccuracy scores the compiled batch-vote kernel on the held-out
+// table — the engine production serving actually runs.
+func forestAccuracy(f *tree.Forest, test *dataset.Table) (float64, error) {
+	m, err := infer.CompileForest(f)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := m.PredictTable(test)
+	if err != nil {
+		return 0, err
+	}
+	hits := 0
+	for i, c := range test.Class {
+		if pred[i] == int(c) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(test.Class)), nil
+}
+
+// forestMeasure trains one ensemble size on the pinned scenario and
+// reduces the run to a trajectory point.
+func forestMeasure(trees int, train, test *dataset.Table) (ForestPoint, *scalparc.ForestResult, error) {
+	res, err := scalparc.TrainForest(train, forestConfig(), forestOptions(trees))
+	if err != nil {
+		return ForestPoint{}, nil, err
+	}
+	acc, err := forestAccuracy(res.Forest, test)
+	if err != nil {
+		return ForestPoint{}, nil, err
+	}
+	nodes := 0
+	for _, t := range res.Forest.Trees {
+		nodes += t.NumNodes()
+	}
+	return ForestPoint{
+		Trees:          trees,
+		Nodes:          nodes,
+		ModeledSeconds: res.ModeledSeconds,
+		BytesSent:      res.Stats.BytesSent,
+		Accuracy:       acc,
+	}, res, nil
+}
+
+// forestSweepPoints measures the fixed T ladder up to the guard's T=16.
+func forestSweepPoints(w io.Writer, train, test *dataset.Table) ([]ForestPoint, error) {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "trees\tnodes\tmodeled runtime\tbytes sent\theld-out accuracy")
+	var points []ForestPoint
+	for _, trees := range []int{1, 2, 4, 8, ForestTrees} {
+		pt, _, err := forestMeasure(trees, train, test)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(tw, "T=%d\t%d\t%.3fs\t%.1fKB\t%.4f\n",
+			pt.Trees, pt.Nodes, pt.ModeledSeconds, float64(pt.BytesSent)/1e3, pt.Accuracy)
+		points = append(points, pt)
+	}
+	tw.Flush()
+	return points, nil
+}
+
+// Forest runs and records EXP-FOREST: held-out accuracy and total
+// communication against the ensemble size on the pinned noisy-Quest
+// scenario, appending a labeled run to dir's BENCH_forest.json and
+// printing the resulting trajectory. The measurements ride the
+// deterministic virtual clocks and the forest's seeded streams, so
+// successive runs of the same source record identical points — drift in
+// the trajectory is a code change, not host noise.
+func Forest(w io.Writer, dir, label string) error {
+	fmt.Fprintf(w, "EXP-FOREST — bagged forests vs ensemble size on noisy Quest (%s records at %.0f%% label noise, %d processors per tree; appending to %s)\n",
+		human(ForestRecords), forestLabelNoise*100, ForestProcs, ForestFile)
+	train, test, err := forestTables()
+	if err != nil {
+		return err
+	}
+	if label == "" {
+		label = "measured " + time.Now().UTC().Format("2006-01-02")
+	}
+	run := ForestRun{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Records:   ForestRecords,
+	}
+	run.Points, err = forestSweepPoints(w, train, test)
+	if err != nil {
+		return err
+	}
+
+	path := filepath.Join(dir, ForestFile)
+	traj, err := loadForestTrajectory(path)
+	if err != nil {
+		return err
+	}
+	traj.Runs = append(traj.Runs, run)
+	if err := saveForestTrajectory(path, traj); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\ntrajectory (T=%d point: bytes sent, accuracy):\n", ForestTrees)
+	for i := range traj.Runs {
+		r := &traj.Runs[i]
+		line := fmt.Sprintf("  %-38s", r.Label)
+		for _, pt := range r.Points {
+			if pt.Trees == ForestTrees {
+				line += fmt.Sprintf("  %8.1fKB  acc %.4f", float64(pt.BytesSent)/1e3, pt.Accuracy)
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+func loadForestTrajectory(path string) (*ForestTrajectory, error) {
+	traj := &ForestTrajectory{Experiment: "EXP-FOREST", Notes: forestNotes}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		if err := json.Unmarshal(data, traj); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return traj, nil
+}
+
+func saveForestTrajectory(path string, traj *ForestTrajectory) error {
+	out, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// forestKiller poisons its tree's first FindSplitI collective with a
+// corrupted deposit — a deterministic data fault no recovery can fix, the
+// only way a run on the simulated machine dies terminally (fail-stop
+// crashes shrink and replay; the machine refuses to kill its last live
+// rank). This is the same mechanism the scalparc forest chaos tests use.
+type forestKiller struct{}
+
+func (forestKiller) Act(at comm.Site) comm.FaultAction {
+	if at.Phase == trace.FindSplitI && at.Op == comm.OpCollective {
+		return comm.FaultAction{Corrupt: true}
+	}
+	return comm.FaultAction{}
+}
+
+// forestGuardVictim is the tree index the chaos gate kills.
+const forestGuardVictim = 5
+
+// ForestGuard runs and prints GUARD-FOREST, the CI regression gate for
+// the forest path. On the pinned noisy-Quest scenario it verifies, in
+// order: the T=16 bagged forest's clean held-out accuracy is at least the
+// single fully-grown tree's, the compiled batch-vote kernel answers
+// bit-identically to the per-tree walker oracle on every held-out row,
+// and a chaos run that terminally kills one tree's world loses exactly
+// that tree while every survivor stays byte-identical to its fault-free
+// counterpart. It returns an error — failing CI — if any gate regresses.
+func ForestGuard(w io.Writer) error {
+	fmt.Fprintf(w, "GUARD-FOREST — T=%d bagging must beat one tree on noisy Quest (%s records at %.0f%% label noise, %d processors per tree)\n",
+		ForestTrees, human(ForestRecords), forestLabelNoise*100, ForestProcs)
+	train, test, err := forestTables()
+	if err != nil {
+		return err
+	}
+
+	// The baseline is a plain fully-grown tree on the raw noisy table — no
+	// bootstrap, no feature subsampling — the model the ensemble claim is
+	// actually about.
+	world := comm.NewWorld(ForestProcs, timing.T3D())
+	singleRes, err := scalparc.TrainOpts(world, train, forestConfig(),
+		scalparc.Options{Split: scalparc.SplitBinned, Bins: ForestBins})
+	if err != nil {
+		return err
+	}
+	singleAcc := heldOutAccuracy(singleRes.Tree, test)
+	forest, forestRes, err := forestMeasure(ForestTrees, train, test)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tnodes\theld-out accuracy")
+	fmt.Fprintf(tw, "single tree\t%d\t%.4f\n", singleRes.Tree.NumNodes(), singleAcc)
+	fmt.Fprintf(tw, "forest T=%d\t%d\t%.4f\n", ForestTrees, forest.Nodes, forest.Accuracy)
+	tw.Flush()
+
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("forest guard: "+format, args...))
+	}
+
+	// Gate 1: the ensemble must generalize at least as well as the single
+	// fully-grown tree that memorized the label noise.
+	if forest.Accuracy < singleAcc {
+		fail("accuracy regression — forest T=%d %.4f below single tree %.4f",
+			ForestTrees, forest.Accuracy, singleAcc)
+	}
+
+	// Gate 2: the flat batch-vote kernel must match the walker oracle bit
+	// for bit on the whole held-out table.
+	m, err := infer.CompileForest(forestRes.Forest)
+	if err != nil {
+		return err
+	}
+	compiled, err := m.PredictTable(test)
+	if err != nil {
+		return err
+	}
+	walked := forestRes.Forest.PredictTable(test)
+	for r := range walked {
+		if compiled[r] != walked[r] {
+			fail("vote-kernel divergence — held-out row %d: compiled %d, walker oracle %d",
+				r, compiled[r], walked[r])
+			break
+		}
+	}
+
+	// Gate 3: terminally killing one tree's world must lose exactly that
+	// tree, and every survivor must be byte-identical to its fault-free
+	// counterpart — a crash costs at most the in-flight tree.
+	fo := forestOptions(ForestTrees)
+	fo.FaultsFor = func(treeIdx int) comm.FaultInjector {
+		if treeIdx != forestGuardVictim {
+			return nil
+		}
+		return forestKiller{}
+	}
+	chaos, err := scalparc.TrainForest(train, forestConfig(), fo)
+	if err != nil {
+		fail("chaos run failed outright instead of absorbing the lost tree: %v", err)
+	} else {
+		if len(chaos.LostTrees) != 1 || chaos.LostTrees[0] != forestGuardVictim {
+			fail("chaos run lost trees %v, want exactly [%d]", chaos.LostTrees, forestGuardVictim)
+		}
+		want := append([]*tree.Tree(nil), forestRes.Forest.Trees[:forestGuardVictim]...)
+		want = append(want, forestRes.Forest.Trees[forestGuardVictim+1:]...)
+		if len(chaos.Forest.Trees) != len(want) {
+			fail("chaos run kept %d trees, want %d survivors", len(chaos.Forest.Trees), len(want))
+		} else {
+			for i, tr := range chaos.Forest.Trees {
+				if !tr.Equal(want[i]) {
+					fail("chaos survivor %d differs from its fault-free counterpart", i)
+					break
+				}
+			}
+		}
+	}
+
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	fmt.Fprintf(w, "ok: forest %.4f >= single tree %.4f, batch-vote kernel bit-identical to the walker on %d held-out rows, chaos run lost only tree %d with survivors intact\n",
+		forest.Accuracy, singleAcc, len(walked), forestGuardVictim)
+	return nil
+}

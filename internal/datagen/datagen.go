@@ -183,6 +183,29 @@ func Generate(cfg Config, n int) (*dataset.Table, error) {
 	return t, nil
 }
 
+// TrainTest generates a train/test pair for generalization experiments:
+// the training set uses cfg verbatim (including LabelNoise and
+// Perturbation), the test set is drawn from the same classification
+// function with a different seed and no noise of either kind, so test
+// accuracy measures recovery of the true concept rather than noise
+// memorization. The forest experiments (EXP-FOREST, GUARD-FOREST) are
+// built on this split.
+func TrainTest(cfg Config, nTrain, nTest int) (train, test *dataset.Table, err error) {
+	train, err = Generate(cfg, nTrain)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcfg := cfg
+	tcfg.Seed = cfg.Seed + 1
+	tcfg.LabelNoise = 0
+	tcfg.Perturbation = 0
+	test, err = Generate(tcfg, nTest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
 // GenerateMultiClass is a multi-class extension of the Quest generator
 // (the original functions are all two-class): records are labeled with one
 // of `classes` labels by equal-width bands of a weighted income score

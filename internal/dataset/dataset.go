@@ -275,6 +275,36 @@ func (t *Table) Slice(lo, hi int) *Table {
 	return out
 }
 
+// Gather returns a new table containing rows idx[0], idx[1], ... of t, in
+// that order. Indices may repeat — the bootstrap-resample path in forest
+// training draws with replacement — but must be in range.
+func (t *Table) Gather(idx []int) *Table {
+	n := t.NumRows()
+	for _, r := range idx {
+		if r < 0 || r >= n {
+			panic(fmt.Sprintf("dataset: Gather index %d out of range [0,%d)", r, n))
+		}
+	}
+	out := NewTable(t.Schema, len(idx))
+	for _, r := range idx {
+		out.Class = append(out.Class, t.Class[r])
+	}
+	for i, a := range t.Schema.Attrs {
+		if a.Kind == Continuous {
+			col := t.cont[i]
+			for _, r := range idx {
+				out.cont[i] = append(out.cont[i], col[r])
+			}
+		} else {
+			col := t.cat[i]
+			for _, r := range idx {
+				out.cat[i] = append(out.cat[i], col[r])
+			}
+		}
+	}
+	return out
+}
+
 // AppendTable appends every row of other (which must share t's schema) to t.
 func (t *Table) AppendTable(other *Table) error {
 	if other.Schema != t.Schema {

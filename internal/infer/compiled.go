@@ -1,0 +1,40 @@
+package infer
+
+import "repro/internal/dataset"
+
+// Compiled is the prediction surface shared by the single-tree Model and
+// the ForestModel — what the serving layer's cache stores and its
+// micro-batcher answers from, so one code path serves both model kinds.
+type Compiled interface {
+	// Predict classifies one row in the dataset.Table value convention.
+	Predict(row []float64) int
+	// PredictRowsInto classifies row-major untrusted records (the serving
+	// path: NaN and out-of-domain values route to majority branches).
+	PredictRowsInto(rows [][]float64, out []int) error
+	// PredictTableInto classifies every row of a table.
+	PredictTableInto(tab *dataset.Table, out []int) error
+	// Footprint reports the flat table's size figures.
+	Footprint() Stats
+}
+
+// Footprint returns the model's footprint as the shared Stats shape.
+func (m *Model) Footprint() Stats { return m.Stats() }
+
+// Footprint returns the forest's footprint as the shared Stats shape
+// (the tree count is ForestStats-only; see ForestModel.Stats).
+func (m *ForestModel) Footprint() Stats {
+	st := m.Stats()
+	return Stats{
+		Nodes:       st.Nodes,
+		Leaves:      st.Leaves,
+		Depth:       st.Depth,
+		SubsetWords: st.SubsetWords,
+		Bytes:       st.Bytes,
+	}
+}
+
+// Compile-time checks that both models satisfy the serving surface.
+var (
+	_ Compiled = (*Model)(nil)
+	_ Compiled = (*ForestModel)(nil)
+)

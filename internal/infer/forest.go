@@ -1,0 +1,276 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/tree"
+)
+
+// ForestModel is a compiled forest: every tree's flat node table
+// concatenated into one, with per-tree root offsets. Batch prediction walks
+// each 512-row batch through the trees in turn, accumulating per-row class
+// votes, so the batch's column segments stay cached across all T walks and
+// the vote tally never leaves the stack-sized scratch; the final per-row
+// argmax applies tree.VoteArgmax's tie rule (lowest class index), which
+// makes predictions independent of tree order.
+type ForestModel struct {
+	schema *dataset.Schema
+	nodes  []node
+	subset []uint64
+	// roots[t] is tree t's root index in the combined node table.
+	roots  []int32
+	leaves int
+	depth  int
+	// scratch pools the accessor pair plus the per-batch vote tally (see
+	// Model.scratch for the acquire/release discipline).
+	scratch sync.Pool
+}
+
+// forestScratch is one pooled prediction workspace.
+type forestScratch struct {
+	cont  [][]float64
+	cat   [][]int32
+	votes []int32 // batchRows × classes
+}
+
+// ForestStats describes a compiled forest's footprint.
+type ForestStats struct {
+	Trees       int
+	Nodes       int
+	Leaves      int
+	Depth       int // maximum single-tree depth
+	SubsetWords int
+	Bytes       int
+}
+
+// Stats returns the compiled forest's footprint figures.
+func (m *ForestModel) Stats() ForestStats {
+	return ForestStats{
+		Trees:       len(m.roots),
+		Nodes:       len(m.nodes),
+		Leaves:      m.leaves,
+		Depth:       m.depth,
+		SubsetWords: len(m.subset),
+		Bytes:       len(m.nodes)*24 + len(m.subset)*8 + len(m.roots)*4,
+	}
+}
+
+// CompileForest flattens every tree of the forest into one combined node
+// table. Each tree is compiled with Compile and relocated — child and
+// fallback indices shifted by the tree's base offset, subset word offsets
+// by the bitset base — so the per-tree walks run on the shared table with
+// no per-tree indirection beyond the root offset.
+func CompileForest(f *tree.Forest) (*ForestModel, error) {
+	if f == nil || f.Schema == nil || len(f.Trees) == 0 {
+		return nil, fmt.Errorf("infer: cannot compile an empty forest")
+	}
+	m := &ForestModel{schema: f.Schema}
+	for i, t := range f.Trees {
+		// Compile against the forest's schema: decoded forests share one
+		// schema object and trained trees' schemas are structurally equal.
+		tm, err := Compile(&tree.Tree{Schema: f.Schema, Root: t.Root})
+		if err != nil {
+			return nil, fmt.Errorf("infer: forest tree %d: %w", i, err)
+		}
+		nodeBase, subsetBase := int32(len(m.nodes)), uint64(len(m.subset))
+		if int(nodeBase)+len(tm.nodes) > math.MaxInt32>>2 {
+			return nil, fmt.Errorf("infer: forest exceeds the flat table's int32 index space at tree %d", i)
+		}
+		m.roots = append(m.roots, nodeBase)
+		for _, nd := range tm.nodes {
+			if nd.kind() != nodeLeaf {
+				nd.first += nodeBase
+				nd.dflt += nodeBase
+				if nd.kind() == nodeSubset {
+					nd.aux += subsetBase
+				}
+			}
+			m.nodes = append(m.nodes, nd)
+		}
+		m.subset = append(m.subset, tm.subset...)
+		m.leaves += tm.leaves
+		if tm.depth > m.depth {
+			m.depth = tm.depth
+		}
+	}
+	return m, nil
+}
+
+func (m *ForestModel) getScratch() *forestScratch {
+	scratchGets.Add(1)
+	if s, ok := m.scratch.Get().(*forestScratch); ok {
+		return s
+	}
+	na := m.schema.NumAttrs()
+	return &forestScratch{
+		cont:  make([][]float64, na),
+		cat:   make([][]int32, na),
+		votes: make([]int32, batchRows*m.schema.NumClasses()),
+	}
+}
+
+func (m *ForestModel) putScratch(s *forestScratch) {
+	for i := range s.cont {
+		s.cont[i] = nil
+		s.cat[i] = nil
+	}
+	scratchPuts.Add(1)
+	m.scratch.Put(s)
+}
+
+// Predict returns the majority-vote class index for one row. Bit-identical
+// to tree.Forest.Predict, including the per-tree majority-branch fallback
+// and the lowest-class-index vote tie rule.
+func (m *ForestModel) Predict(row []float64) int {
+	votes := make([]int32, m.schema.NumClasses())
+	sub := Model{schema: m.schema, nodes: m.nodes, subset: m.subset}
+	for _, root := range m.roots {
+		i := root
+		for {
+			nd := &m.nodes[i]
+			if nd.kind() == nodeLeaf {
+				votes[nd.payload()]++
+				break
+			}
+			i = sub.route(nd, row[nd.payload()])
+		}
+	}
+	return tree.VoteArgmax(votes)
+}
+
+// PredictTable classifies every row of the table and returns the labels.
+func (m *ForestModel) PredictTable(tab *dataset.Table) ([]int, error) {
+	out := make([]int, tab.NumRows())
+	if err := m.PredictTableInto(tab, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictTableInto classifies every row of the table into out, which must
+// have one slot per row, with the batch vote kernel. Large tables fan out
+// across GOMAXPROCS workers like the single-tree engine; each worker's
+// batches are independent so the split is free.
+func (m *ForestModel) PredictTableInto(tab *dataset.Table, out []int) error {
+	if err := compatibleSchema(m.schema, tab); err != nil {
+		return err
+	}
+	if len(out) != tab.NumRows() {
+		return fmt.Errorf("infer: out has %d slots for %d rows", len(out), tab.NumRows())
+	}
+	sc := m.getScratch()
+	cont, cat := sc.cont, sc.cat
+	for a := range tab.Schema.Attrs {
+		if tab.Schema.Attrs[a].Kind == dataset.Continuous {
+			cont[a] = tab.ContColumn(a)
+		} else {
+			cat[a] = tab.CatColumn(a)
+		}
+	}
+	rows := tab.NumRows()
+	workers := parallelWorkers(rows)
+	if workers < 2 {
+		m.predictRange(cont, cat, sc.votes, out, 0, rows)
+		m.putScratch(sc)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := dataset.BlockRange(rows, workers, w)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			wsc := m.getScratch()
+			copy(wsc.cont, cont)
+			copy(wsc.cat, cat)
+			m.predictRange(wsc.cont, wsc.cat, wsc.votes, out, lo, hi)
+			m.putScratch(wsc)
+		}(lo, hi)
+	}
+	wg.Wait()
+	m.putScratch(sc)
+	return nil
+}
+
+// predictRange classifies rows [lo, hi): for each 512-row batch the cursor
+// walk of the single-tree kernel (see Model.predictRange) runs once per
+// tree from that tree's root, leaves incrementing the batch vote tally
+// instead of writing labels; the batch finishes with one argmax per row.
+func (m *ForestModel) predictRange(cont [][]float64, cat [][]int32, votes []int32, out []int, lo, hi int) {
+	nodes, subset := m.nodes, m.subset
+	nc := m.schema.NumClasses()
+	var cur, rid [batchRows]int32
+	for base := lo; base < hi; base += batchRows {
+		n := hi - base
+		if n > batchRows {
+			n = batchRows
+		}
+		clear(votes[:n*nc])
+		for _, root := range m.roots {
+			for i := 0; i < n; i++ {
+				cur[i] = root
+				rid[i] = int32(base + i)
+			}
+			for active := n; active > 0; {
+				w := 0
+				for i := 0; i < active; i++ {
+					nd := &nodes[cur[i]]
+					r := rid[i]
+					k := uint8(nd.meta) & 3
+					if k == nodeCont {
+						// CMOV child select, exactly as in the
+						// single-tree kernel.
+						v := cont[nd.meta>>2][r]
+						next := nd.first
+						if v > math.Float64frombits(nd.aux) {
+							next++
+						}
+						if v != v {
+							next = nd.dflt
+						}
+						cur[w] = next
+						rid[w] = r
+						w++
+						continue
+					}
+					if k == nodeLeaf {
+						votes[int(r-int32(base))*nc+int(nd.meta>>2)]++
+						continue
+					}
+					var next int32
+					if k == nodeSubset {
+						c := cat[nd.meta>>2][r]
+						if uint32(c) >= uint32(nd.ncard) {
+							next = nd.dflt
+						} else {
+							next = nd.first + 1
+							if subset[nd.aux+uint64(c>>6)]&(1<<(uint(c)&63)) != 0 {
+								next = nd.first
+							}
+						}
+					} else { // nodeMway
+						c := cat[nd.meta>>2][r]
+						if uint32(c) >= uint32(nd.ncard) {
+							next = nd.dflt
+						} else {
+							next = nd.first + c
+						}
+					}
+					cur[w] = next
+					rid[w] = r
+					w++
+				}
+				active = w
+			}
+		}
+		for i := 0; i < n; i++ {
+			out[base+i] = tree.VoteArgmax(votes[i*nc : (i+1)*nc])
+		}
+	}
+}

@@ -322,19 +322,32 @@ func (m *Model) predictRange(cont [][]float64, cat [][]int32, out []int, lo, hi 
 
 // compatible checks that the table's schema matches the one the model was
 // compiled for (attribute count and kinds, class count).
-func (m *Model) compatible(tab *dataset.Table) error {
-	if tab.Schema == m.schema {
+func (m *Model) compatible(tab *dataset.Table) error { return compatibleSchema(m.schema, tab) }
+
+// compatibleSchema is the shared schema check for the single-tree and
+// forest models.
+func compatibleSchema(schema *dataset.Schema, tab *dataset.Table) error {
+	if tab.Schema == schema {
 		return nil
 	}
-	if len(tab.Schema.Attrs) != len(m.schema.Attrs) || len(tab.Schema.Classes) != len(m.schema.Classes) {
+	if len(tab.Schema.Attrs) != len(schema.Attrs) || len(tab.Schema.Classes) != len(schema.Classes) {
 		return fmt.Errorf("infer: table schema (%d attrs, %d classes) incompatible with compiled model (%d attrs, %d classes)",
-			len(tab.Schema.Attrs), len(tab.Schema.Classes), len(m.schema.Attrs), len(m.schema.Classes))
+			len(tab.Schema.Attrs), len(tab.Schema.Classes), len(schema.Attrs), len(schema.Classes))
 	}
-	for a := range m.schema.Attrs {
-		if tab.Schema.Attrs[a].Kind != m.schema.Attrs[a].Kind {
+	for a := range schema.Attrs {
+		if tab.Schema.Attrs[a].Kind != schema.Attrs[a].Kind {
 			return fmt.Errorf("infer: attribute %d is %v in the table but %v in the compiled model",
-				a, tab.Schema.Attrs[a].Kind, m.schema.Attrs[a].Kind)
+				a, tab.Schema.Attrs[a].Kind, schema.Attrs[a].Kind)
 		}
 	}
 	return nil
+}
+
+// parallelWorkers returns how many workers a table of the given row count
+// should fan out across: 1 below the parallel threshold, else GOMAXPROCS.
+func parallelWorkers(rows int) int {
+	if w := runtime.GOMAXPROCS(0); rows >= minParallelRows && w >= 2 {
+		return w
+	}
+	return 1
 }

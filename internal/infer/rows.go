@@ -1,6 +1,11 @@
 package infer
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/tree"
+)
 
 // PredictRows classifies row-major records (each row in the
 // dataset.AppendRow value convention) and returns the labels.
@@ -25,14 +30,8 @@ func (m *Model) PredictRows(rows [][]float64) ([]int, error) {
 // to the oracle. Rows walk the flat table in the same level-synchronous
 // batchRows cursor groups as the column kernel.
 func (m *Model) PredictRowsInto(rows [][]float64, out []int) error {
-	if len(out) != len(rows) {
-		return fmt.Errorf("infer: out has %d slots for %d rows", len(out), len(rows))
-	}
-	nattrs := m.schema.NumAttrs()
-	for i, r := range rows {
-		if len(r) != nattrs {
-			return fmt.Errorf("infer: row %d has %d values; schema has %d attributes", i, len(r), nattrs)
-		}
+	if err := checkRows(m.schema, rows, out); err != nil {
+		return err
 	}
 	nodes := m.nodes
 	var cur, rid [batchRows]int32
@@ -61,5 +60,79 @@ func (m *Model) PredictRowsInto(rows [][]float64, out []int) error {
 			active = w
 		}
 	}
+	return nil
+}
+
+// checkRows validates the row-major input shape shared by the single-tree
+// and forest row kernels.
+func checkRows(schema *dataset.Schema, rows [][]float64, out []int) error {
+	if len(out) != len(rows) {
+		return fmt.Errorf("infer: out has %d slots for %d rows", len(out), len(rows))
+	}
+	nattrs := schema.NumAttrs()
+	for i, r := range rows {
+		if len(r) != nattrs {
+			return fmt.Errorf("infer: row %d has %d values; schema has %d attributes", i, len(r), nattrs)
+		}
+	}
+	return nil
+}
+
+// PredictRows classifies row-major records by forest majority vote and
+// returns the labels.
+func (m *ForestModel) PredictRows(rows [][]float64) ([]int, error) {
+	out := make([]int, len(rows))
+	if err := m.PredictRowsInto(rows, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictRowsInto is the forest's row-major serving kernel: each batch of
+// untrusted rows walks every tree from its root accumulating class votes,
+// then resolves per-row argmax with the walker's tie rule. Bit-identical
+// to calling tree.Forest.Predict per row (see the rows fuzz differential).
+func (m *ForestModel) PredictRowsInto(rows [][]float64, out []int) error {
+	if err := checkRows(m.schema, rows, out); err != nil {
+		return err
+	}
+	sc := m.getScratch()
+	votes := sc.votes
+	nc := m.schema.NumClasses()
+	nodes := m.nodes
+	sub := Model{schema: m.schema, nodes: m.nodes, subset: m.subset}
+	var cur, rid [batchRows]int32
+	for base := 0; base < len(rows); base += batchRows {
+		n := len(rows) - base
+		if n > batchRows {
+			n = batchRows
+		}
+		clear(votes[:n*nc])
+		for _, root := range m.roots {
+			for i := 0; i < n; i++ {
+				cur[i] = root
+				rid[i] = int32(base + i)
+			}
+			for active := n; active > 0; {
+				w := 0
+				for i := 0; i < active; i++ {
+					nd := &nodes[cur[i]]
+					r := rid[i]
+					if nd.kind() == nodeLeaf {
+						votes[int(r-int32(base))*nc+int(nd.payload())]++
+						continue
+					}
+					cur[w] = sub.route(nd, rows[r][nd.payload()])
+					rid[w] = r
+					w++
+				}
+				active = w
+			}
+		}
+		for i := 0; i < n; i++ {
+			out[base+i] = tree.VoteArgmax(votes[i*nc : (i+1)*nc])
+		}
+	}
+	m.putScratch(sc)
 	return nil
 }

@@ -58,7 +58,7 @@ func (wk *worker) findSplitsBinned(splitIdx []int, nNeed int) []splitter.Candida
 	// FindSplitII: evaluate the owned groups from their reduced histograms.
 	wk.c.SetPhase(trace.FindSplitII, wk.level)
 	best := grab(wk.ar, &wk.ar.best, nNeed) // zero value is Invalid
-	evaluated := wk.evalOwnedGroups(layout, mine, best)
+	evaluated := wk.evalOwnedGroups(layout, mine, best, nodeOf)
 	wk.c.Compute(model.ScanTime(evaluated))
 	wk.c.Mem().Free(transient)
 	return stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
@@ -137,9 +137,11 @@ func (wk *worker) evalHistGroup(grp histogram.Group, chunk []uint32, below, abov
 
 // evalOwnedGroups evaluates this rank's contiguous block of the layout's
 // groups from the reduce-scattered histogram slice, merging per-node winners
-// into best with the deterministic candidate order. Returns the number of
-// histogram slots evaluated.
-func (wk *worker) evalOwnedGroups(layout *histogram.Layout, mine []uint32, best []splitter.Candidate) int {
+// into best with the deterministic candidate order. activeOf maps a layout
+// node index back to its active-node index so the per-node feature mask
+// (forest mode) can veto groups; masked groups ride the exchange but never
+// produce a candidate. Returns the number of histogram slots evaluated.
+func (wk *worker) evalOwnedGroups(layout *histogram.Layout, mine []uint32, best []splitter.Candidate, activeOf []int) int {
 	nc := layout.Classes
 	glo, ghi := layout.GroupRange(wk.c.Size(), wk.c.Rank())
 	below := grabRaw(wk.ar, &wk.ar.below, nc)
@@ -149,6 +151,9 @@ func (wk *worker) evalOwnedGroups(layout *histogram.Layout, mine []uint32, best 
 		grp := layout.Groups[g]
 		chunk := mine[off : off+grp.Len]
 		off += grp.Len
+		if !wk.attrAllowed(activeOf[grp.Node], grp.Attr) {
+			continue
+		}
 		evaluated += grp.Len
 		cand := wk.evalHistGroup(grp, chunk, below, above, nc)
 		best[grp.Node] = splitter.Best(best[grp.Node], cand)

@@ -720,24 +720,26 @@ func restoreWorker(c *comm.Comm, schema *dataset.Schema, cfg splitter.Config, fa
 	}
 
 	wk := &worker{
-		c:         c,
-		schema:    schema,
-		cfg:       cfg,
-		n:         sh.n,
-		rm:        factory(c, sh.n),
-		root:      sh.root,
-		active:    active,
-		cont:      make([][]dataset.ContEntry, schema.NumAttrs()),
-		cat:       make([][]dataset.CatEntry, schema.NumAttrs()),
-		segs:      make([][]seg, schema.NumAttrs()),
-		perNode:   opts.PerNodeComms,
-		batched:   opts.BatchedEnquiry,
-		rebalance: opts.RebalanceLevels,
-		split:     sh.split,
-		bins:      sh.bins,
-		voteK:     opts.VoteK,
-		cuts:      sh.cuts,
-		ar:        newScratch(schema.NumAttrs(), opts.PerNodeComms),
+		c:          c,
+		schema:     schema,
+		cfg:        cfg,
+		n:          sh.n,
+		rm:         factory(c, sh.n),
+		root:       sh.root,
+		active:     active,
+		cont:       make([][]dataset.ContEntry, schema.NumAttrs()),
+		cat:        make([][]dataset.CatEntry, schema.NumAttrs()),
+		segs:       make([][]seg, schema.NumAttrs()),
+		perNode:    opts.PerNodeComms,
+		batched:    opts.BatchedEnquiry,
+		rebalance:  opts.RebalanceLevels,
+		split:      sh.split,
+		bins:       sh.bins,
+		voteK:      opts.VoteK,
+		featSample: opts.FeatureSample,
+		featSeed:   opts.FeatureSeed,
+		cuts:       sh.cuts,
+		ar:         newScratch(schema.NumAttrs(), opts.PerNodeComms),
 	}
 	wk.levelStats = sh.levelStats
 

@@ -78,6 +78,14 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 				continue
 			}
 			for k, a := range contAttrs {
+				if !wk.attrAllowed(i, a) {
+					// Feature-masked (node, attribute) pairs keep their
+					// (zero) slots in the scan vectors — the collective
+					// shapes must match on every rank — but are neither
+					// counted nor evaluated. The mask is replicated, so
+					// every rank skips the same pairs.
+					continue
+				}
 				sg := wk.segs[a][i]
 				base := (i2*len(contAttrs) + k) * nc
 				for _, e := range wk.cont[a][sg.off : sg.off+sg.n] {
@@ -110,6 +118,9 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 				continue
 			}
 			for k, a := range contAttrs {
+				if !wk.attrAllowed(i, a) {
+					continue
+				}
 				sg := wk.segs[a][i]
 				if sg.n == 0 {
 					continue
@@ -159,7 +170,7 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 		counted := 0
 		for i := range wk.active {
 			i2 := splitIdx[i]
-			if i2 < 0 {
+			if i2 < 0 || !wk.attrAllowed(i, a) {
 				continue
 			}
 			sg := wk.segs[a][i]
@@ -174,7 +185,11 @@ func (wk *worker) findSplitsBatch(splitIdx []int, nNeed int) []splitter.Candidat
 		root := a % wk.c.Size()
 		red := comm.ReduceSum(wk.c, root, vec)
 		if wk.c.Rank() == root {
-			for i2 := 0; i2 < nNeed; i2++ {
+			for i := range wk.active {
+				i2 := splitIdx[i]
+				if i2 < 0 || !wk.attrAllowed(i, a) {
+					continue
+				}
 				m := splitter.FromFlat(red[i2*card*nc:(i2+1)*card*nc], card, nc)
 				cand := splitter.BestCategorical(m, a, wk.cfg.CategoricalBinary)
 				best[i2] = splitter.Best(best[i2], cand)

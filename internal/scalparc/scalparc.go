@@ -101,6 +101,13 @@ type Result struct {
 	// every picosecond of modeled time and every byte of communication
 	// went. Per-rank bucket times sum exactly to that rank's final clock.
 	Trace *trace.Trace
+	// VoteFallbacks counts the need-split nodes SplitVote re-ran through
+	// the full-layout reduce-scatter because the elected candidate set
+	// yielded no split beating the node's gini (vote.go's re-vote
+	// fallback). Zero for the other strategies. Best-effort across
+	// recoveries: levels replayed after a crash count their fallbacks
+	// again.
+	VoteFallbacks int
 	// Recoveries counts the recovery rounds the run survived (each round
 	// is one world shrink plus a replay from the last checkpoint).
 	Recoveries int
@@ -213,6 +220,17 @@ type Options struct {
 	// SplitVote (the global candidate set keeps at most 2·VoteK); zero
 	// selects DefaultVoteK. Setting it with any other strategy is an error.
 	VoteK int
+	// FeatureSample, when positive, evaluates only a per-node random
+	// subset of that many attributes as split candidates — random-forest
+	// feature subsampling. The subset is a pure function of (FeatureSeed,
+	// level, active-node index), all replicated, so every rank masks
+	// identically and the induced tree stays invariant under the processor
+	// count. Zero evaluates every attribute.
+	FeatureSample int
+	// FeatureSeed seeds the per-node feature subsets; only meaningful with
+	// FeatureSample > 0. Forest training derives it from the tree's
+	// bootstrap seed.
+	FeatureSeed uint64
 
 	// Faults installs a fault injector on the world for the duration of
 	// the run (nil: no injection). Fail-stop crashes are survived: the
@@ -282,6 +300,9 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	} else if opts.VoteK != 0 {
 		return nil, fmt.Errorf("scalparc: VoteK is only meaningful with SplitVote")
 	}
+	if opts.FeatureSample < 0 || opts.FeatureSample > tab.Schema.NumAttrs() {
+		return nil, fmt.Errorf("scalparc: FeatureSample %d out of range [0, %d attributes]", opts.FeatureSample, tab.Schema.NumAttrs())
+	}
 	factory := opts.RecordMap
 	if factory == nil {
 		factory = DistributedNodeTable
@@ -342,6 +363,7 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 	levels := make([]int, p)
 	presort := make([]float64, p)
 	perLevel := make([][]LevelStats, p)
+	fallbacks := make([]int, p)
 	errs := make([]error, p)
 	recoveries := make([]int, p)
 	start := time.Now()
@@ -350,7 +372,7 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 		restarted := false
 		for {
 			err := trainAttempt(c, tab, cfg, factory, opts, store, restarted,
-				trees, levels, presort, perLevel)
+				trees, levels, presort, perLevel, fallbacks)
 			if err == nil {
 				return
 			}
@@ -390,6 +412,7 @@ func TrainOpts(w *comm.World, tab *dataset.Table, cfg splitter.Config, opts Opti
 			res.Tree = trees[phys]
 			res.Levels = levels[phys]
 			res.PerLevel = perLevel[phys]
+			res.VoteFallbacks = fallbacks[phys]
 			break
 		}
 	}
@@ -439,7 +462,8 @@ func tryShrink(c *comm.Comm) (err error) {
 // runner absorbs them, modeling a rank that is simply gone.
 func trainAttempt(c *comm.Comm, tab *dataset.Table, cfg splitter.Config,
 	factory RecordMapFactory, opts Options, store *CheckpointStore, restarted bool,
-	trees []*tree.Tree, levels []int, presort []float64, perLevel [][]LevelStats) (err error) {
+	trees []*tree.Tree, levels []int, presort []float64, perLevel [][]LevelStats,
+	fallbacks []int) (err error) {
 	defer func() {
 		switch e := recover().(type) {
 		case nil:
@@ -482,6 +506,7 @@ func trainAttempt(c *comm.Comm, tab *dataset.Table, cfg splitter.Config,
 	c.Barrier()
 	trees[phys], levels[phys] = t, l
 	perLevel[phys] = wk.levelStats
+	fallbacks[phys] = wk.voteFallbacks
 	wk.free()
 	return nil
 }
@@ -539,6 +564,18 @@ type worker struct {
 	cuts     [][]float64
 	cutBytes int64
 
+	// voteFallbacks counts the nodes rescued by vote.go's re-vote
+	// fallback (SplitVote only).
+	voteFallbacks int
+
+	// Per-node feature subsampling (forest mode; see features.go):
+	// featSample attributes are drawn per active node per level from
+	// featSeed. feat is the current level's flat mask, nil when off.
+	featSample int
+	featSeed   uint64
+	feat       []bool
+	featIdx    []int32
+
 	// ar is the per-level scratch arena (see scratch.go).
 	ar *scratch
 }
@@ -552,21 +589,23 @@ func newWorker(c *comm.Comm, tab *dataset.Table, cfg splitter.Config, factory Re
 	local := dataset.BuildLists(tab.Slice(lo, hi), lo)
 
 	wk := &worker{
-		c:         c,
-		schema:    tab.Schema,
-		cfg:       cfg,
-		n:         n,
-		rm:        factory(c, n),
-		cont:      local.Cont,
-		cat:       local.Cat,
-		segs:      make([][]seg, tab.Schema.NumAttrs()),
-		perNode:   opts.PerNodeComms,
-		batched:   opts.BatchedEnquiry,
-		rebalance: opts.RebalanceLevels,
-		split:     opts.Split,
-		bins:      opts.Bins,
-		voteK:     opts.VoteK,
-		ar:        newScratch(tab.Schema.NumAttrs(), opts.PerNodeComms),
+		c:          c,
+		schema:     tab.Schema,
+		cfg:        cfg,
+		n:          n,
+		rm:         factory(c, n),
+		cont:       local.Cont,
+		cat:        local.Cat,
+		segs:       make([][]seg, tab.Schema.NumAttrs()),
+		perNode:    opts.PerNodeComms,
+		batched:    opts.BatchedEnquiry,
+		rebalance:  opts.RebalanceLevels,
+		split:      opts.Split,
+		bins:       opts.Bins,
+		voteK:      opts.VoteK,
+		featSample: opts.FeatureSample,
+		featSeed:   opts.FeatureSeed,
+		ar:         newScratch(tab.Schema.NumAttrs(), opts.PerNodeComms),
 	}
 
 	// Presort: sample sort + shift for every continuous attribute. The
@@ -665,6 +704,10 @@ func (wk *worker) runLevel() {
 			nNeed++
 		}
 	}
+
+	// Per-node feature subsampling (forest mode): replicated masks drawn
+	// before FindSplit so every split path sees the same veto.
+	wk.sampleFeatures()
 
 	// FindSplit: winning candidate per need-split node (globally agreed).
 	cands := wk.findSplits(splitIdx, nNeed)

@@ -68,6 +68,18 @@ type scratch struct {
 	candSets   [][]int32
 	candHist   []uint32
 
+	// findSplitsVote re-vote fallback (see the fallback block in vote.go):
+	// dedicated buffers, never aliasing the election path's — the elected
+	// round's hist32/mine32/best/bestOut are all still live when the
+	// fallback round runs.
+	fbNodes   []int
+	fbActive  []int
+	fbSets    [][]int32
+	fbHist    []uint32
+	fbMine32  []uint32
+	fbBest    []splitter.Candidate
+	fbBestOut []splitter.Candidate
+
 	// performSplitI
 	offsets    []int
 	vec        []int64

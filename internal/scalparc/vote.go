@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"repro/internal/comm"
+	"repro/internal/gini"
 	"repro/internal/histogram"
 	"repro/internal/splitter"
 	"repro/internal/trace"
@@ -28,6 +29,25 @@ import (
 // election (splitter.VoteSelect) is a pure function of the ballot multiset
 // with deterministic tie-breaking, so every rank computes the identical
 // candidate set and the tree cannot depend on rank order.
+//
+// Two refinements harden the election (DESIGN.md §12):
+//
+//   - Abstention: below the degenerate regime (k < votable attributes), a
+//     rank nominates a locally invalid attribute as a blank (-1), which
+//     VoteSelect ignores. Without blanks, ranks whose segments of a small
+//     node are empty or pure pad their ballots with the lowest attribute
+//     indices, and the count of those spurious votes varies with p — the
+//     source of the small-node p-dependence DESIGN.md §10 used to caveat.
+//
+//   - Re-vote fallback: the elected set is built from local evidence, so it
+//     can miss every globally valid split (each rank's segment constant,
+//     segments differing across ranks) or hold only splits that do not beat
+//     the node's gini while the full histogram has one that does. Every
+//     rank sees the same reduced winners, so all ranks agree on the set of
+//     nodes needing rescue and re-run exactly those nodes through the
+//     full-layout reduce-scatter — the binned path's exchange restricted to
+//     the fallback nodes — instead of silently leafing them. A node the
+//     fallback cannot split is a node binned mode would leaf too.
 func (wk *worker) findSplitsVote(splitIdx []int, nNeed int) []splitter.Candidate {
 	wk.c.SetPhase(trace.FindSplitI, wk.level)
 	nc := wk.schema.NumClasses()
@@ -52,6 +72,9 @@ func (wk *worker) findSplitsVote(splitIdx []int, nNeed int) []splitter.Candidate
 	below := grabRaw(wk.ar, &wk.ar.below, nc)
 	above := grabRaw(wk.ar, &wk.ar.above, nc)
 	for _, grp := range layout.Groups {
+		if !wk.attrAllowed(nodeOf[grp.Node], grp.Attr) {
+			continue
+		}
 		cand := wk.evalHistGroup(grp, hist[grp.Off:grp.Off+grp.Len], below, above, nc)
 		if cand.Valid {
 			scores[grp.Node*numAttrs+grp.Attr] = cand.Gini
@@ -88,7 +111,23 @@ func (wk *worker) findSplitsVote(splitIdx []int, nNeed int) []splitter.Candidate
 			}
 			return int(a - b)
 		})
-		copy(ballots[i*kk:(i+1)*kk], order[:kk])
+		bal := ballots[i*kk : (i+1)*kk]
+		copy(bal, order[:kk])
+		if kk < len(votable) {
+			// Abstain on locally invalid attributes instead of padding the
+			// ballot with them: a padded ballot votes for attrs 0..k-1 and
+			// the number of such ballots depends on how the records are cut
+			// into rank segments — i.e. on p. Blanks are ignored by
+			// VoteSelect, so only real local evidence elects. The degenerate
+			// regime (kk == len(votable)) keeps full ballots: there the
+			// elected set must be every attribute for the binned-equality
+			// anchor, whatever the local evidence.
+			for j, a := range bal {
+				if math.IsInf(sc[a], 1) {
+					bal[j] = -1
+				}
+			}
+		}
 	}
 
 	// Global vote: one fixed-size ballot exchange, then every rank runs the
@@ -136,8 +175,61 @@ func (wk *worker) findSplitsVote(splitIdx []int, nNeed int) []splitter.Candidate
 	// global histograms, exactly as the binned path does.
 	wk.c.SetPhase(trace.FindSplitII, wk.level)
 	best := grab(wk.ar, &wk.ar.best, nNeed) // zero value is Invalid
-	evaluated := wk.evalOwnedGroups(sub, mine, best)
+	evaluated := wk.evalOwnedGroups(sub, mine, best, nodeOf)
 	wk.c.Compute(model.ScanTime(evaluated))
+	out := stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
+
+	// Re-vote fallback: the reduced winners are identical on every rank, so
+	// every rank computes the same set of nodes whose election came up empty —
+	// no valid elected split, or none beating the node's own gini — and
+	// re-runs exactly those nodes through the full-layout reduce-scatter.
+	// The local full histogram (hist) is still live; only the exchange and
+	// evaluation are repeated, now over every votable attribute.
+	fb := grabRaw(wk.ar, &wk.ar.fbNodes, 0)
+	for i := 0; i < nNeed; i++ {
+		if !out[i].Valid || out[i].Gini >= gini.Index(wk.active[nodeOf[i]].hist) {
+			fb = append(fb, i)
+		}
+	}
+	fb = stash(wk.ar, &wk.ar.fbNodes, fb)
+	if len(fb) > 0 {
+		wk.c.SetPhase(trace.FindSplitI, wk.level)
+		fbSets := grabRaw(wk.ar, &wk.ar.fbSets, len(fb))
+		fbActive := grabRaw(wk.ar, &wk.ar.fbActive, len(fb))
+		for j, i := range fb {
+			fbSets[j] = votable
+			fbActive[j] = nodeOf[i]
+		}
+		fbLayout := histogram.NewLayoutSubset(fbSets, bins, nc)
+		fbBytes := int64(fbLayout.Total) * 4
+		wk.c.Mem().Alloc(fbBytes)
+		fbHist := grabRaw(wk.ar, &wk.ar.fbHist, fbLayout.Total)
+		fi = 0
+		for _, g := range fbLayout.Groups {
+			want := fb[g.Node]
+			for layout.Groups[fi].Node != want || layout.Groups[fi].Attr != g.Attr {
+				fi++
+			}
+			fg := layout.Groups[fi]
+			copy(fbHist[g.Off:g.Off+g.Len], hist[fg.Off:fg.Off+fg.Len])
+			fi++
+		}
+		fbMine := stash(wk.ar, &wk.ar.fbMine32, comm.ReduceScatterSum32Into(wk.c, fbHist, wk.ar.fbMine32, fbLayout.OwnerCounts(p)))
+
+		wk.c.SetPhase(trace.FindSplitII, wk.level)
+		fbBest := grab(wk.ar, &wk.ar.fbBest, len(fb)) // zero value is Invalid
+		fbEval := wk.evalOwnedGroups(fbLayout, fbMine, fbBest, fbActive)
+		wk.c.Compute(model.ScanTime(fbEval))
+		wk.c.Mem().Free(fbBytes)
+		fbOut := stash(wk.ar, &wk.ar.fbBestOut, comm.AllReduceInto(wk.c, fbBest, wk.ar.fbBestOut, splitter.Best))
+		// The fallback evaluates a superset of the elected candidates from
+		// the same fused statistics, so its winner supersedes the elected
+		// one — this is exactly the candidate binned mode would pick.
+		for j, i := range fb {
+			out[i] = fbOut[j]
+		}
+		wk.voteFallbacks += len(fb)
+	}
 	wk.c.Mem().Free(transient + subBytes)
-	return stash(wk.ar, &wk.ar.bestOut, comm.AllReduceInto(wk.c, best, wk.ar.bestOut, splitter.Best))
+	return out
 }

@@ -29,7 +29,7 @@ var ErrOverloaded = errors.New("serve: overloaded, prediction queue full past th
 // empty and all flushes complete before Close runs. The batcher therefore
 // never drops rows on shutdown.
 type batcher struct {
-	model    *infer.Model
+	model    infer.Compiled
 	q        chan rowReq
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -62,7 +62,7 @@ func (c *call) finish(n int64) {
 	}
 }
 
-func newBatcher(m *infer.Model, workers, maxBatch int, maxWait time.Duration, stats *Stats) *batcher {
+func newBatcher(m infer.Compiled, workers, maxBatch int, maxWait time.Duration, stats *Stats) *batcher {
 	b := &batcher{
 		model:    m,
 		q:        make(chan rowReq, 4*maxBatch),

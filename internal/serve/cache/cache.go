@@ -1,7 +1,8 @@
 // Package cache is the serving layer's sharded, versioned hot-model store.
 //
-// Each entry pairs a compiled infer.Model with its walker-oracle tree (the
-// differential tests compare served answers against the tree). Lookups
+// Each entry pairs a compiled model (single-tree or forest) with its
+// walker oracle (the differential tests compare served answers against
+// it). Lookups
 // shard by an inline FNV-1a hash of the model name, so concurrent traffic
 // to different models contends on different locks.
 //
@@ -26,13 +27,16 @@ import (
 const DefaultShards = 16
 
 // Entry is one live (or draining) model version. An Entry returned by
-// Acquire is valid until the matching Release; the embedded model and tree
-// are immutable.
+// Acquire is valid until the matching Release; the embedded model and
+// forest are immutable. Forest is the walker oracle — a single tree is
+// stored as a forest of one, so tree and forest models share one entry
+// shape — and Model is its compiled counterpart (single-tree or batch-vote
+// engine to match).
 type Entry struct {
 	Name    string
 	Version int
-	Tree    *tree.Tree
-	Model   *infer.Model
+	Forest  *tree.Forest
+	Model   infer.Compiled
 	// Payload is opaque per-version state attached at Store time (the
 	// server hangs the version's micro-batcher and decode indexes here).
 	Payload any
@@ -106,8 +110,8 @@ func (c *Cache) shardOf(name string) *shard {
 
 // NewEntry builds an un-stored entry for name so the caller can attach a
 // payload and drain hooks before publishing it with Store.
-func (c *Cache) NewEntry(name string, t *tree.Tree, m *infer.Model) *Entry {
-	e := &Entry{Name: name, Tree: t, Model: m, drained: make(chan struct{})}
+func (c *Cache) NewEntry(name string, f *tree.Forest, m infer.Compiled) *Entry {
+	e := &Entry{Name: name, Forest: f, Model: m, drained: make(chan struct{})}
 	e.refs.Store(1) // the cache's own reference, dropped on replace/delete
 	return e
 }

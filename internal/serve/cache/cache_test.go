@@ -14,7 +14,7 @@ import (
 	"repro/internal/tree"
 )
 
-func testModel(t testing.TB, seed int64) (*tree.Tree, *infer.Model) {
+func testModel(t testing.TB, seed int64) (*tree.Forest, *infer.Model) {
 	t.Helper()
 	tab, err := datagen.Generate(datagen.Config{Function: 2, Attrs: datagen.Seven, Seed: seed}, 500)
 	if err != nil {
@@ -28,7 +28,7 @@ func testModel(t testing.TB, seed int64) (*tree.Tree, *infer.Model) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return tr, m
+	return &tree.Forest{Schema: tr.Schema, Trees: []*tree.Tree{tr}}, m
 }
 
 func TestStoreAcquireRelease(t *testing.T) {
@@ -38,7 +38,7 @@ func TestStoreAcquireRelease(t *testing.T) {
 		t.Fatalf("first Store version = %d, want 1", v)
 	}
 	e, ok := c.Acquire("m")
-	if !ok || e.Version != 1 || e.Tree != tr || e.Model != m {
+	if !ok || e.Version != 1 || e.Forest != tr || e.Model != infer.Compiled(m) {
 		t.Fatalf("Acquire = %+v, %v", e, ok)
 	}
 	if e.Hits() != 1 || e.Refs() != 2 {
@@ -144,7 +144,7 @@ func TestConcurrentSwapAndAcquire(t *testing.T) {
 					t.Error("live name missing")
 					return
 				}
-				if e.Tree == nil || e.Model == nil || e.Version < last {
+				if e.Forest == nil || e.Model == nil || e.Version < last {
 					t.Errorf("torn or regressed entry: %+v after version %d", e, last)
 				}
 				last = e.Version

@@ -125,33 +125,56 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Stats() *Stats { return s.stats }
 
 // SetModel compiles the tree and stores it as the newest version of name,
-// returning the version. The entry owns a fresh micro-batcher whose
-// flushers stop when the version drains.
+// returning the version. A single tree is served as a forest of one
+// through the single-tree engine (see SetForest).
 func (s *Server) SetModel(name string, t *tree.Tree) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("serve: nil tree")
+	}
+	return s.SetForest(name, &tree.Forest{Schema: t.Schema, Trees: []*tree.Tree{t}})
+}
+
+// SetForest compiles the forest and stores it as the newest version of
+// name, returning the version. A one-tree forest compiles to the
+// single-tree engine (a vote of one is the label itself, and the flat
+// kernel skips the tally); larger ensembles get the batch-vote engine.
+// The entry owns a fresh micro-batcher whose flushers stop when the
+// version drains.
+func (s *Server) SetForest(name string, f *tree.Forest) (int, error) {
 	if name == "" {
 		return 0, fmt.Errorf("serve: empty model name")
 	}
-	m, err := infer.Compile(t)
+	if f == nil || f.NumTrees() == 0 {
+		return 0, fmt.Errorf("serve: empty forest")
+	}
+	var m infer.Compiled
+	var err error
+	if f.NumTrees() == 1 {
+		m, err = infer.Compile(&tree.Tree{Schema: f.Schema, Root: f.Trees[0].Root})
+	} else {
+		m, err = infer.CompileForest(f)
+	}
 	if err != nil {
 		return 0, err
 	}
-	e := s.cache.NewEntry(name, t, m)
+	e := s.cache.NewEntry(name, f, m)
 	b := newBatcher(m, s.cfg.Workers, s.cfg.MaxBatch, s.cfg.BatchWait, s.stats)
-	e.Payload = &served{b: b, catIndex: buildCatIndex(t.Schema)}
+	e.Payload = &served{b: b, catIndex: buildCatIndex(f.Schema)}
 	e.OnDrain(b.close)
 	v := s.cache.Store(e)
 	s.stats.Swaps.Add(1)
 	return v, nil
 }
 
-// Model returns the current version of a model's oracle tree (for tests).
-func (s *Server) Model(name string) (*tree.Tree, int, bool) {
+// Model returns the current version of a model's oracle forest (for
+// tests); a single-tree model comes back as a forest of one.
+func (s *Server) Model(name string) (*tree.Forest, int, bool) {
 	e, ok := s.cache.Acquire(name)
 	if !ok {
 		return nil, 0, false
 	}
 	defer e.Release()
-	return e.Tree, e.Version, true
+	return e.Forest, e.Version, true
 }
 
 // Close deletes every model, draining each version's batcher. In-flight
@@ -172,7 +195,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.stats.snapshot()
 	s.cache.Range(func(e *cache.Entry) {
-		st := e.Model.Stats()
+		st := e.Model.Footprint()
 		ms := ModelSnapshot{
 			Name:    e.Name,
 			Version: e.Version,
@@ -195,6 +218,7 @@ type modelInfo struct {
 	Model   string `json:"model"`
 	Version int    `json:"version"`
 	Nodes   int    `json:"nodes,omitempty"`
+	Trees   int    `json:"trees,omitempty"`
 	Classes int    `json:"classes,omitempty"`
 }
 
@@ -204,18 +228,21 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 		out = append(out, modelInfo{
 			Model:   e.Name,
 			Version: e.Version,
-			Nodes:   e.Model.Stats().Nodes,
-			Classes: e.Tree.Schema.NumClasses(),
+			Nodes:   e.Model.Footprint().Nodes,
+			Trees:   e.Forest.NumTrees(),
+			Classes: e.Forest.Schema.NumClasses(),
 		})
 	})
 	writeJSON(w, http.StatusOK, out)
 }
 
 // handleStoreModel hot-swaps a model version. application/json bodies are
-// a serialized tree (tree.Encode's format); text/csv bodies are a labeled
-// training table in dataset.WriteCSV's format, parsed against the
-// *existing* version's schema and retrained via classify (query parameter
-// "procs" overrides the simulated processor count).
+// a serialized model in either wire format — a single tree (tree.Encode)
+// or a whole forest (tree.Forest.Encode) — sniffed by tree.DecodeModel;
+// text/csv bodies are a labeled training table in dataset.WriteCSV's
+// format, parsed against the *existing* version's schema and retrained via
+// classify (query parameter "procs" overrides the simulated processor
+// count).
 func (s *Server) handleStoreModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	body, status, err := s.readBody(r)
@@ -223,7 +250,7 @@ func (s *Server) handleStoreModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	var t *tree.Tree
+	var f *tree.Forest
 	if isCSV(r) {
 		old, ok := s.cache.Acquire(name)
 		if !ok {
@@ -231,7 +258,7 @@ func (s *Server) handleStoreModel(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "retrain-from-CSV needs an existing model to supply the schema; upload a JSON tree first", http.StatusNotFound)
 			return
 		}
-		schema := old.Tree.Schema
+		schema := old.Forest.Schema
 		old.Release()
 		tab, err := dataset.ReadCSV(bytes.NewReader(body), schema)
 		if err != nil {
@@ -253,23 +280,27 @@ func (s *Server) handleStoreModel(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		t = model.Tree
+		f = &tree.Forest{Schema: model.Tree.Schema, Trees: []*tree.Tree{model.Tree}}
 	} else {
 		var err error
-		if t, err = tree.Decode(bytes.NewReader(body)); err != nil {
+		if f, err = tree.DecodeModel(bytes.NewReader(body)); err != nil {
 			s.stats.DecodeErrors.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
-	v, err := s.SetModel(name, t)
+	v, err := s.SetForest(name, f)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	nodes := 0
+	for _, t := range f.Trees {
+		nodes += t.NumNodes()
+	}
 	writeJSON(w, http.StatusOK, modelInfo{
-		Model: name, Version: v,
-		Nodes: t.NumNodes(), Classes: t.Schema.NumClasses(),
+		Model: name, Version: v, Nodes: nodes,
+		Trees: f.NumTrees(), Classes: f.Schema.NumClasses(),
 	})
 }
 
@@ -318,9 +349,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	buf := s.getBuf()
 	defer s.putBuf(buf)
 	if isCSV(r) {
-		err = decodeCSVRows(body, e.Tree.Schema, sv.catIndex, s.cfg.MaxRowsPerRequest, buf)
+		err = decodeCSVRows(body, e.Forest.Schema, sv.catIndex, s.cfg.MaxRowsPerRequest, buf)
 	} else {
-		err = decodeJSONRows(body, e.Tree.Schema, sv.catIndex, s.cfg.MaxRowsPerRequest, buf)
+		err = decodeJSONRows(body, e.Forest.Schema, sv.catIndex, s.cfg.MaxRowsPerRequest, buf)
 	}
 	if err != nil {
 		s.stats.DecodeErrors.Add(1)
@@ -354,7 +385,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Classes: make([]string, len(buf.rows)),
 	}
 	for i, c := range resp.Indices {
-		resp.Classes[i] = e.Tree.Schema.Classes[c]
+		resp.Classes[i] = e.Forest.Schema.Classes[c]
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

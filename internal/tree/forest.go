@@ -1,0 +1,170 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// Forest is a bagged ensemble of decision trees over one schema. Prediction
+// is by majority vote: every tree votes its leaf label and the class with
+// the most votes wins, ties broken to the lowest class index — the same
+// deterministic tie rule Majority applies to histograms, so ensemble
+// predictions never depend on tree order (a tie is a tie regardless of
+// which trees contributed which votes; the order-invariance property is
+// pinned by a quick.Check differential).
+//
+// The methods here are the reference pointer walkers; internal/infer
+// compiles a Forest into one flat node table with a branch-free batch vote
+// kernel (infer.CompileForest) that is differentially tested against them.
+type Forest struct {
+	Schema *dataset.Schema
+	Trees  []*Tree
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.Trees) }
+
+// Validate checks that the forest is non-empty and every tree shares the
+// forest's schema shape (trees may hold distinct but structurally equal
+// Schema pointers after decoding).
+func (f *Forest) Validate() error {
+	if f.Schema == nil {
+		return fmt.Errorf("tree: forest has no schema")
+	}
+	if err := f.Schema.Validate(); err != nil {
+		return fmt.Errorf("tree: forest schema invalid: %w", err)
+	}
+	if len(f.Trees) == 0 {
+		return fmt.Errorf("tree: forest has no trees")
+	}
+	for i, t := range f.Trees {
+		if t == nil || t.Root == nil {
+			return fmt.Errorf("tree: forest tree %d is nil", i)
+		}
+		if err := validateNode(t.Root, &Tree{Schema: f.Schema, Root: t.Root}); err != nil {
+			return fmt.Errorf("tree: forest tree %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// VoteArgmax returns the winning class of a vote-count slice: the most
+// votes, ties to the lowest class index. It is the single majority rule
+// shared by the walker and the compiled engine.
+func VoteArgmax(votes []int32) int {
+	best := 0
+	for c := 1; c < len(votes); c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Predict returns the majority-vote class index for one row in the
+// dataset.Table value convention.
+func (f *Forest) Predict(row []float64) int {
+	votes := make([]int32, f.Schema.NumClasses())
+	for _, t := range f.Trees {
+		votes[t.Predict(row)]++
+	}
+	return VoteArgmax(votes)
+}
+
+// PredictTableWalk classifies every row of the table with the per-tree
+// reference walkers and a per-row vote, writing labels into out (one slot
+// per row). This is the oracle the compiled forest engine is differentially
+// tested against.
+func (f *Forest) PredictTableWalk(tab *dataset.Table, out []int) {
+	nc := f.Schema.NumClasses()
+	votes := make([]int32, tab.NumRows()*nc)
+	labels := make([]int, tab.NumRows())
+	for _, t := range f.Trees {
+		t.PredictTableWalk(tab, labels)
+		for r, l := range labels {
+			votes[r*nc+l]++
+		}
+	}
+	for r := range out {
+		out[r] = VoteArgmax(votes[r*nc : (r+1)*nc])
+	}
+}
+
+// PredictTable classifies every row and returns the labels, via the walker.
+func (f *Forest) PredictTable(tab *dataset.Table) []int {
+	out := make([]int, tab.NumRows())
+	f.PredictTableWalk(tab, out)
+	return out
+}
+
+// forestJSON is the wire shape: one shared schema plus the tree roots. The
+// "trees" key distinguishes a forest document from a single-tree document's
+// "root" key — DecodeModel sniffs on that.
+type forestJSON struct {
+	Schema *dataset.Schema `json:"schema"`
+	Trees  []*Node         `json:"trees"`
+}
+
+// Encode writes the forest as indented JSON: the schema once, then every
+// tree's root under "trees".
+func (f *Forest) Encode(w io.Writer) error {
+	doc := forestJSON{Schema: f.Schema}
+	for _, t := range f.Trees {
+		doc.Trees = append(doc.Trees, t.Root)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("tree: encoding forest JSON: %w", err)
+	}
+	return nil
+}
+
+// DecodeForest reads a forest in Encode's format and validates it.
+func DecodeForest(r io.Reader) (*Forest, error) {
+	var doc forestJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("tree: decoding forest JSON: %w", err)
+	}
+	if doc.Schema == nil || len(doc.Trees) == 0 {
+		return nil, fmt.Errorf("tree: decoded forest JSON missing schema or trees")
+	}
+	f := &Forest{Schema: doc.Schema}
+	for _, root := range doc.Trees {
+		f.Trees = append(f.Trees, &Tree{Schema: doc.Schema, Root: root})
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeModel reads either a single-tree document or a forest document,
+// sniffing on the top-level key ("root" vs "trees"), and returns the model
+// as a Forest (a single tree becomes a one-tree forest). The callers that
+// accept uploaded models — the serving layer, the CLI — use this so both
+// formats work everywhere.
+func DecodeModel(r io.Reader) (*Forest, error) {
+	var probe struct {
+		Trees json.RawMessage `json:"trees"`
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tree: reading model: %w", err)
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("tree: decoding model JSON: %w", err)
+	}
+	if probe.Trees != nil {
+		return DecodeForest(bytes.NewReader(raw))
+	}
+	t, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return &Forest{Schema: t.Schema, Trees: []*Tree{t}}, nil
+}
